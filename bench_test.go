@@ -1,0 +1,93 @@
+package ehjoin_test
+
+// One benchmark per figure of the paper's evaluation section. Each runs the
+// same code path as cmd/ehjabench at a reduced scale so `go test -bench .`
+// completes in minutes; pass -benchscale to change it. The reported metric
+// is wall time per full figure sweep; the figure's virtual-time cells are
+// what EXPERIMENTS.md records (regenerate at full scale with
+// `go run ./cmd/ehjabench -fig all`).
+
+import (
+	"flag"
+	"testing"
+
+	"ehjoin"
+	"ehjoin/internal/expt"
+)
+
+var benchScale = flag.Float64("benchscale", 0.02, "workload scale for figure benchmarks")
+
+func benchFigure(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := expt.NewSession(expt.Options{Scale: *benchScale})
+		t, err := s.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Cells) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFigure2TotalTimeVsInitialNodes(b *testing.B) { benchFigure(b, "fig2") }
+func BenchmarkFigure3BuildTimeVsInitialNodes(b *testing.B) { benchFigure(b, "fig3") }
+func BenchmarkFigure4ExtraCommVsInitialNodes(b *testing.B) { benchFigure(b, "fig4") }
+func BenchmarkFigure5SplitVsReshuffleTime(b *testing.B)    { benchFigure(b, "fig5") }
+func BenchmarkFigure6TotalTimeVsRelationSize(b *testing.B) { benchFigure(b, "fig6") }
+func BenchmarkFigure7TotalTimeVsTupleSize(b *testing.B)    { benchFigure(b, "fig7") }
+func BenchmarkFigure8TotalTimeAsymmetric(b *testing.B)     { benchFigure(b, "fig8") }
+func BenchmarkFigure9BuildTimeAsymmetric(b *testing.B)     { benchFigure(b, "fig9") }
+func BenchmarkFigure10TotalTimeUnderSkew(b *testing.B)     { benchFigure(b, "fig10") }
+func BenchmarkFigure11ExtraCommUnderSkew(b *testing.B)     { benchFigure(b, "fig11") }
+func BenchmarkFigure12LoadBalanceUniform(b *testing.B)     { benchFigure(b, "fig12") }
+func BenchmarkFigure13LoadBalanceSkewed(b *testing.B)      { benchFigure(b, "fig13") }
+
+func benchAblation(b *testing.B, name string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := expt.NewSession(expt.Options{Scale: *benchScale})
+		t, err := s.RunAblation(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Cells) == 0 {
+			b.Fatalf("%s produced no rows", name)
+		}
+	}
+}
+
+func BenchmarkAblationBlockingMigration(b *testing.B) { benchAblation(b, "blocking-migration") }
+func BenchmarkAblationOOCPolicy(b *testing.B)         { benchAblation(b, "ooc-policy") }
+
+// BenchmarkMultiWayPipeline exercises the paper's §6 future-work feature: a
+// three-way join chain run as a pipeline of expanding hash joins with
+// in-memory intermediate results.
+func BenchmarkMultiWayPipeline(b *testing.B) {
+	b.ReportAllocs()
+	tuples := int64(2_000_000 * *benchScale * 10)
+	if tuples < 1000 {
+		tuples = 1000
+	}
+	for i := 0; i < b.N; i++ {
+		mc := ehjoin.MultiConfig{
+			Algorithm:    ehjoin.Hybrid,
+			InitialNodes: 2,
+			MaxNodes:     12,
+			MemoryBudget: int64(float64(64<<20) * *benchScale),
+			Relations: []ehjoin.StageRelation{
+				{Spec: ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: tuples, Seed: 50}},
+				{Spec: ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: tuples, Seed: 51}, MatchFraction: 0.9},
+				{Spec: ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: tuples, Seed: 52}, MatchFraction: 0.9},
+			},
+		}
+		r, err := ehjoin.RunMulti(mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Matches == 0 {
+			b.Fatal("pipeline produced no matches")
+		}
+	}
+}

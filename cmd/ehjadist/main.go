@@ -1,0 +1,164 @@
+// Command ehjadist runs a parallel hash join distributed across real OS
+// processes: this process hosts the scheduler and the data sources, and
+// joind workers (or self-spawned worker copies of this binary) host the
+// join nodes.
+//
+// Self-contained local demo (spawns its own workers):
+//
+//	ehjadist -workers 3 -alg hybrid -r 1000000 -s 1000000
+//
+// Multi-host: start `joind -connect HOST:PORT` on each worker machine,
+// then:
+//
+//	ehjadist -listen :7420 -workers 3 -spawn=false ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+
+	"ehjoin/internal/core"
+	"ehjoin/internal/datagen"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tcpnet"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "address to accept workers on")
+		workers  = flag.Int("workers", 2, "number of worker processes")
+		spawn    = flag.Bool("spawn", true, "spawn local worker copies of this binary")
+		worker   = flag.Bool("worker", false, "run as a worker (internal, used by -spawn)")
+		connect  = flag.String("connect", "", "coordinator address (worker mode)")
+		algName  = flag.String("alg", "hybrid", "join algorithm: split|replication|hybrid|ooc")
+		initial  = flag.Int("initial", 2, "initial number of join nodes")
+		maxNodes = flag.Int("max", 8, "total join nodes in the environment")
+		rTuples  = flag.Int64("r", 200_000, "build relation cardinality")
+		sTuples  = flag.Int64("s", 200_000, "probe relation cardinality")
+		budget   = flag.Int64("budget", 4<<20, "per-node hash memory budget in bytes")
+	)
+	flag.Parse()
+
+	if *worker {
+		runWorker(*connect)
+		return
+	}
+
+	var alg core.Algorithm
+	switch *algName {
+	case "split":
+		alg = core.Split
+	case "replication", "repl":
+		alg = core.Replication
+	case "hybrid":
+		alg = core.Hybrid
+	case "ooc", "out-of-core":
+		alg = core.OutOfCore
+	default:
+		fmt.Fprintf(os.Stderr, "ehjadist: unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Algorithm:     alg,
+		InitialNodes:  *initial,
+		MaxNodes:      *maxNodes,
+		Sources:       2,
+		MemoryBudget:  *budget,
+		ChunkTuples:   1000,
+		Build:         datagen.Spec{Dist: datagen.Uniform, Tuples: *rTuples, Seed: 1},
+		Probe:         datagen.Spec{Dist: datagen.Uniform, Tuples: *sTuples, Seed: 2},
+		MatchFraction: 1.0,
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer l.Close()
+	fmt.Printf("ehjadist: coordinator on %s, waiting for %d worker(s)\n", l.Addr(), *workers)
+
+	var procs []*exec.Cmd
+	if *spawn {
+		self, err := os.Executable()
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < *workers; i++ {
+			cmd := exec.Command(self, "-worker", "-connect", l.Addr().String())
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				fatal(err)
+			}
+			procs = append(procs, cmd)
+		}
+	}
+
+	conns := make([]net.Conn, *workers)
+	for i := range conns {
+		c, err := l.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		conns[i] = c
+		fmt.Printf("ehjadist: worker %d connected from %s\n", i, c.RemoteAddr())
+	}
+
+	blob, err := core.EncodeConfig(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ids, err := core.JoinNodeIDs(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	assignment := make(map[rt.NodeID]int)
+	for i, id := range ids {
+		assignment[id] = i % *workers
+	}
+
+	coord, err := tcpnet.NewCoordinator(blob, assignment, conns)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	report, err := core.Execute(cfg, coord)
+	coord.Close()
+	for _, p := range procs {
+		_ = p.Wait()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ehjadist: %d matches (checksum %#x) across %d worker process(es) in %.2fs wall time\n",
+		report.Matches, report.Checksum, *workers, time.Since(start).Seconds())
+	fmt.Printf("ehjadist: nodes %d -> %d, splits %d, replications %d\n",
+		report.InitialNodes, report.FinalNodes, report.Splits, report.Replications)
+}
+
+func runWorker(connect string) {
+	conn, err := net.Dial("tcp", connect)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	factory := func(blob []byte, id rt.NodeID) (rt.Actor, error) {
+		cfg, err := core.DecodeConfig(blob)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewJoinActor(cfg, id)
+	}
+	if err := tcpnet.RunWorker(conn, factory); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ehjadist:", err)
+	os.Exit(1)
+}

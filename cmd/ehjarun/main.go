@@ -1,0 +1,160 @@
+// Command ehjarun executes a single parallel hash-join run on the emulated
+// cluster and prints the measured report.
+//
+// Example:
+//
+//	ehjarun -alg hybrid -initial 4 -r 10000000 -s 10000000 -dist gaussian -sigma 0.0001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ehjoin/internal/core"
+	"ehjoin/internal/datagen"
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/sim"
+	"ehjoin/internal/spill"
+	"ehjoin/internal/trace"
+	"ehjoin/internal/tuple"
+)
+
+func parseAlg(s string) (core.Algorithm, error) {
+	switch s {
+	case "split":
+		return core.Split, nil
+	case "replication", "repl":
+		return core.Replication, nil
+	case "hybrid":
+		return core.Hybrid, nil
+	case "ooc", "out-of-core":
+		return core.OutOfCore, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (split|replication|hybrid|ooc)", s)
+	}
+}
+
+func parseDist(s string) (datagen.Dist, error) {
+	switch s {
+	case "uniform":
+		return datagen.Uniform, nil
+	case "gaussian", "normal":
+		return datagen.Gaussian, nil
+	default:
+		return 0, fmt.Errorf("unknown distribution %q (uniform|gaussian)", s)
+	}
+}
+
+func main() {
+	var (
+		algName     = flag.String("alg", "hybrid", "join algorithm: split|replication|hybrid|ooc")
+		initial     = flag.Int("initial", 4, "initial number of join nodes")
+		maxNodes    = flag.Int("max", 24, "total join nodes in the environment")
+		sources     = flag.Int("sources", 8, "number of data-source nodes")
+		rTuples     = flag.Int64("r", 1_000_000, "build relation cardinality")
+		sTuples     = flag.Int64("s", 1_000_000, "probe relation cardinality")
+		tupleSize   = flag.Int("tuple", 100, "logical tuple size in bytes")
+		distName    = flag.String("dist", "uniform", "join-attribute distribution: uniform|gaussian")
+		sigma       = flag.Float64("sigma", 0.001, "gaussian standard deviation")
+		mean        = flag.Float64("mean", 0.5, "gaussian mean")
+		budget      = flag.Int64("budget", 64<<20, "per-node hash memory budget in bytes")
+		match       = flag.Float64("match", 1.0, "fraction of probe tuples matching the build relation")
+		seed        = flag.Uint64("seed", 1, "generation seed")
+		verbose     = flag.Bool("v", false, "print per-node loads and utilisation")
+		blocking    = flag.Bool("blocking", false, "model split migrations as blocking sends (ablation A1)")
+		oocHybrid   = flag.Bool("ooc-hybrid", false, "use the hybrid-hash out-of-core policy instead of Grace (ablation A2)")
+		hashMode    = flag.String("hash", "scaled", "position hashing: scaled (order-preserving) or multiplicative (mixing)")
+		timeline    = flag.Bool("timeline", false, "render a per-node virtual-time utilisation timeline")
+		materialize = flag.Bool("materialize", false, "retain join output in memory; probe-phase expansion applies (paper footnote 1)")
+	)
+	flag.Parse()
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehjarun:", err)
+		os.Exit(2)
+	}
+	dist, err := parseDist(*distName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehjarun:", err)
+		os.Exit(2)
+	}
+
+	space := hashfn.DefaultSpace()
+	switch *hashMode {
+	case "scaled":
+	case "multiplicative", "mult":
+		space.Mode = hashfn.Multiplicative
+	default:
+		fmt.Fprintf(os.Stderr, "ehjarun: unknown hash mode %q\n", *hashMode)
+		os.Exit(2)
+	}
+	cost := rt.OSUMed()
+	cost.BlockingMigration = *blocking
+	policy := spill.Grace
+	if *oocHybrid {
+		policy = spill.HybridHash
+	}
+
+	layout := tuple.LayoutForTupleSize(*tupleSize)
+	cfg := core.Config{
+		Algorithm:         alg,
+		InitialNodes:      *initial,
+		MaxNodes:          *maxNodes,
+		Sources:           *sources,
+		MemoryBudget:      *budget,
+		Space:             space,
+		Cost:              cost,
+		OOCPolicy:         policy,
+		MaterializeOutput: *materialize,
+		Build: datagen.Spec{
+			Dist: dist, Mean: *mean, Sigma: *sigma,
+			Tuples: *rTuples, Seed: *seed, Layout: layout,
+		},
+		Probe: datagen.Spec{
+			Dist: dist, Mean: *mean, Sigma: *sigma,
+			Tuples: *sTuples, Seed: *seed + 1, Layout: layout,
+		},
+		MatchFraction: *match,
+	}
+
+	wall := time.Now()
+	var rec *trace.Recorder
+	eng := sim.New(cost)
+	if *timeline {
+		rec = trace.NewRecorder()
+		eng.Trace = rec
+	}
+	r, err := core.Execute(cfg, eng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehjarun:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+	fmt.Printf("wire: %.1f MB in %d messages; spill: %d MB written, %d MB read; wall clock %.1fs\n",
+		float64(r.WireBytes)/(1<<20), r.Messages,
+		r.SpillWrittenBytes>>20, r.SpillReadBytes>>20, time.Since(wall).Seconds())
+	if *verbose {
+		for i, l := range r.NodeLoads {
+			var util string
+			if i < len(r.NodeCPUSecs) {
+				util = fmt.Sprintf("  cpu %6.2fs  disk %6.2fs", r.NodeCPUSecs[i], r.NodeDiskSecs[i])
+			}
+			fmt.Printf("  node %2d: %9d tuples%s\n", i, l, util)
+		}
+	}
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(rec.Timeline(100))
+		fmt.Println("\nbusiest message kinds:")
+		for i, kb := range rec.BusyByKind() {
+			if i == 6 {
+				break
+			}
+			fmt.Printf("  %-28s %8.2fs\n", kb.Kind, kb.Seconds)
+		}
+	}
+}

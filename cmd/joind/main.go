@@ -1,0 +1,43 @@
+// Command joind is a join-node worker daemon: it connects to an ehjadist
+// coordinator, receives its node assignment and configuration, and hosts
+// the assigned join processes until the run completes.
+//
+// Usage:
+//
+//	joind -connect HOST:PORT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ehjoin/internal/core"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tcpnet"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:7420", "coordinator address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joind:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	factory := func(blob []byte, id rt.NodeID) (rt.Actor, error) {
+		cfg, err := core.DecodeConfig(blob)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewJoinActor(cfg, id)
+	}
+	if err := tcpnet.RunWorker(conn, factory); err != nil {
+		fmt.Fprintln(os.Stderr, "joind:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+package ehjoin_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ehjoin"
+)
+
+// ExampleRun demonstrates the basic API; the simulator is deterministic, so
+// the output is reproducible.
+func ExampleRun() {
+	report, err := ehjoin.Run(ehjoin.Config{
+		Algorithm:     ehjoin.Hybrid,
+		InitialNodes:  2,
+		MaxNodes:      8,
+		MemoryBudget:  1 << 20,
+		Build:         ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: 100_000, Seed: 1},
+		Probe:         ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: 100_000, Seed: 2},
+		MatchFraction: 1.0,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("matches=%d nodes=%d->%d replications=%d\n",
+		report.Matches, report.InitialNodes, report.FinalNodes, report.Replications)
+	// Output: matches=100000 nodes=2->8 replications=6
+}
+
+// TestPublicAPISingleJoin exercises the library exactly as a downstream
+// user would: configure, run, inspect the report.
+func TestPublicAPISingleJoin(t *testing.T) {
+	report, err := ehjoin.Run(ehjoin.Config{
+		Algorithm:     ehjoin.Hybrid,
+		InitialNodes:  2,
+		MaxNodes:      8,
+		MemoryBudget:  1 << 20,
+		Build:         ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: 50_000, Seed: 1},
+		Probe:         ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: 50_000, Seed: 2},
+		MatchFraction: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Matches < 50_000 {
+		t.Errorf("matches = %d, want >= probe cardinality with MatchFraction 1", report.Matches)
+	}
+	if report.FinalNodes <= report.InitialNodes {
+		t.Error("expected expansion under memory pressure")
+	}
+	if report.TotalSec <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+}
+
+// TestPublicAPIMultiWay runs a three-way pipeline through the facade.
+func TestPublicAPIMultiWay(t *testing.T) {
+	report, err := ehjoin.RunMulti(ehjoin.MultiConfig{
+		Algorithm:    ehjoin.Split,
+		InitialNodes: 2,
+		MaxNodes:     8,
+		MemoryBudget: 1 << 20,
+		Relations: []ehjoin.StageRelation{
+			{Spec: ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: 30_000, Seed: 1}},
+			{Spec: ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: 30_000, Seed: 2}, MatchFraction: 0.9},
+			{Spec: ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: 30_000, Seed: 3}, MatchFraction: 0.9},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Matches == 0 {
+		t.Error("pipeline produced no matches")
+	}
+	if len(report.Stages) != 2 {
+		t.Errorf("stage count = %d", len(report.Stages))
+	}
+}
+
+// TestPublicAPIEstimator sizes an allocation by sampling.
+func TestPublicAPIEstimator(t *testing.T) {
+	est, err := ehjoin.EstimateInitialNodes(
+		ehjoin.Spec{Dist: ehjoin.Uniform, Tuples: 100_000, Seed: 1},
+		ehjoin.Config{Algorithm: ehjoin.Hybrid, InitialNodes: 1, MemoryBudget: 1 << 20},
+		1_000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Nodes != 10 {
+		t.Errorf("estimated %d nodes, want 10", est.Nodes)
+	}
+}
+
+// TestAlgorithmsOrder pins the presentation order used by the figures.
+func TestAlgorithmsOrder(t *testing.T) {
+	algs := ehjoin.Algorithms()
+	want := []ehjoin.Algorithm{ehjoin.Replication, ehjoin.Split, ehjoin.Hybrid, ehjoin.OutOfCore}
+	if len(algs) != len(want) {
+		t.Fatalf("algorithms: %v", algs)
+	}
+	for i := range want {
+		if algs[i] != want[i] {
+			t.Errorf("algorithms[%d] = %v, want %v", i, algs[i], want[i])
+		}
+	}
+	if ehjoin.OSUMed().NetBandwidthBps != 12.5e6 {
+		t.Error("OSUMed cost model not exposed correctly")
+	}
+	if ehjoin.LayoutForTupleSize(200).LogicalSize() != 200 {
+		t.Error("LayoutForTupleSize not exposed correctly")
+	}
+}

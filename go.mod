@@ -1,0 +1,3 @@
+module ehjoin
+
+go 1.22

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"testing"
+
+	"ehjoin/internal/datagen"
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+)
+
+// scriptEnv is a synchronous runtime.Env that records outgoing messages so
+// actor behaviour can be unit-tested one message at a time.
+type scriptEnv struct {
+	now  int64
+	sent []scriptSend
+}
+
+type scriptSend struct {
+	to  rt.NodeID
+	msg rt.Message
+}
+
+func (e *scriptEnv) Now() int64                        { return e.now }
+func (e *scriptEnv) Send(to rt.NodeID, m rt.Message)   { e.sent = append(e.sent, scriptSend{to, m}) }
+func (e *scriptEnv) ChargeCPU(ns int64)                { e.now += ns }
+func (e *scriptEnv) ChargeDisk(bytes int64, read bool) {}
+
+// take removes and returns all sends so far.
+func (e *scriptEnv) take() []scriptSend {
+	out := e.sent
+	e.sent = nil
+	return out
+}
+
+// one asserts exactly one message of type T went to dest.
+func one[T rt.Message](t *testing.T, sends []scriptSend, dest rt.NodeID) T {
+	t.Helper()
+	var found []T
+	for _, s := range sends {
+		if m, ok := s.msg.(T); ok && s.to == dest {
+			found = append(found, m)
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("want exactly 1 %T to node %d, got %d (all: %v)", *new(T), dest, len(found), sends)
+	}
+	return found[0]
+}
+
+func actorConfig(alg Algorithm) Config {
+	cfg, err := Config{
+		Algorithm:    alg,
+		InitialNodes: 2,
+		MaxNodes:     4,
+		Sources:      1,
+		MemoryBudget: 10 * 100, // ten 100-byte tuples
+		ChunkTuples:  4,
+		Build:        datagen.Spec{Dist: datagen.Uniform, Tuples: 100, Seed: 1},
+		Probe:        datagen.Spec{Dist: datagen.Uniform, Tuples: 100, Seed: 2},
+	}.normalized()
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+func chunkOf(rel tuple.Relation, layout tuple.Layout, keys ...uint64) *tuple.Chunk {
+	c := &tuple.Chunk{Rel: rel, Layout: layout}
+	for i, k := range keys {
+		c.Tuples = append(c.Tuples, tuple.Tuple{Index: uint64(i), Key: k})
+	}
+	return c
+}
+
+func TestJoinActorAcksAndReportsOverflow(t *testing.T) {
+	cfg := actorConfig(Replication)
+	j := newJoin(cfg, cfg.joinID(0))
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	env := &scriptEnv{}
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table})
+
+	src := cfg.sourceID(0)
+	// First chunk (4 x 100 B): under budget — ack only.
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, 1, 2, 3, 4), Origin: src})
+	sends := env.take()
+	one[*chunkAck](t, sends, src)
+	for _, s := range sends {
+		if _, ok := s.msg.(*memFull); ok {
+			t.Fatal("reported overflow below budget")
+		}
+	}
+	// Two more chunks cross the 10-tuple budget: expect a memFull.
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, 5, 6, 7, 8), Origin: src})
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, 9, 10, 11, 12), Origin: src})
+	one[*memFull](t, env.take(), cfg.schedulerID())
+}
+
+func TestJoinActorRetireForwardsWholesale(t *testing.T) {
+	cfg := actorConfig(Replication)
+	j := newJoin(cfg, cfg.joinID(0))
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	env := &scriptEnv{}
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table})
+
+	next := cfg.joinID(2)
+	table.AddReplica(0, int32(next))
+	j.Receive(env, rt.NoNode, &retire{ForwardTo: next, Table: table})
+	env.take()
+
+	src := cfg.sourceID(0)
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, 1, 2), Origin: src})
+	sends := env.take()
+	one[*chunkAck](t, sends, src) // credit still returns to the source
+	fwd := one[*dataChunk](t, sends, next)
+	if !fwd.Forwarded || fwd.Origin != rt.NoNode {
+		t.Errorf("forwarded chunk flags wrong: %+v", fwd)
+	}
+	if len(fwd.Chunk.Tuples) != 2 {
+		t.Errorf("forwarded %d tuples, want the whole pending buffer", len(fwd.Chunk.Tuples))
+	}
+	if j.storedBuildTuples() != 0 {
+		t.Error("retired node inserted forwarded tuples")
+	}
+}
+
+func TestJoinActorSplitMigratesUpperRange(t *testing.T) {
+	cfg := actorConfig(Split)
+	j := newJoin(cfg, cfg.joinID(0))
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	env := &scriptEnv{}
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table})
+
+	// Keys across the node's range [0, H/2): positions are key>>48 for
+	// 16-bit space; pick two keys in the lower quarter, two in the second.
+	low1 := uint64(0x0100_0000_0000_0000)
+	low2 := uint64(0x0200_0000_0000_0000)
+	hi1 := uint64(0x5000_0000_0000_0000)
+	hi2 := uint64(0x6000_0000_0000_0000)
+	src := cfg.sourceID(0)
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, low1, low2, hi1, hi2), Origin: src})
+	env.take()
+
+	newNode := cfg.joinID(2)
+	lower, upper, err := table.SplitEntry(0, int32(newNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Receive(env, rt.NoNode, &splitOrder{Lower: lower, Upper: upper, NewNode: newNode, Table: table})
+	sends := env.take()
+	mv := one[*moveTuples](t, sends, newNode)
+	if len(mv.Chunk.Tuples) != 2 {
+		t.Errorf("migrated %d tuples, want 2", len(mv.Chunk.Tuples))
+	}
+	done := one[*splitDone](t, sends, cfg.schedulerID())
+	if done.MovedTuples != 2 {
+		t.Errorf("splitDone reports %d moved", done.MovedTuples)
+	}
+	if j.rng != lower {
+		t.Errorf("victim kept range %v, want %v", j.rng, lower)
+	}
+	if j.storedBuildTuples() != 2 {
+		t.Errorf("victim holds %d tuples after split", j.storedBuildTuples())
+	}
+}
+
+func TestJoinActorStrayForwarding(t *testing.T) {
+	cfg := actorConfig(Split)
+	j := newJoin(cfg, cfg.joinID(0))
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	env := &scriptEnv{}
+	// The node owns only the lower half of its original entry.
+	newNode := cfg.joinID(2)
+	lower, _, err := table.SplitEntry(0, int32(newNode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Receive(env, rt.NoNode, &joinInit{Range: lower, Table: table})
+
+	// A stale chunk carries one tuple for the migrated upper half.
+	mine := uint64(0x0100_0000_0000_0000)
+	stray := uint64(0x5000_0000_0000_0000)
+	src := cfg.sourceID(0)
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, mine, stray), Origin: src})
+	sends := env.take()
+	fwd := one[*dataChunk](t, sends, newNode)
+	if len(fwd.Chunk.Tuples) != 1 || fwd.Chunk.Tuples[0].Key != stray {
+		t.Errorf("stray forward wrong: %+v", fwd.Chunk.Tuples)
+	}
+	if j.storedBuildTuples() != 1 {
+		t.Errorf("stored %d tuples, want only the owned one", j.storedBuildTuples())
+	}
+}
+
+func TestJoinActorPreInitBuffering(t *testing.T) {
+	cfg := actorConfig(Replication)
+	j := newJoin(cfg, cfg.joinID(2)) // recruited node, not yet initialised
+	env := &scriptEnv{}
+	src := cfg.sourceID(0)
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, 1, 2, 3), Origin: src})
+	one[*chunkAck](t, env.take(), src) // ack flows even pre-init
+	if j.storedBuildTuples() != 0 {
+		t.Fatal("inserted before initialisation")
+	}
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(2))})
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table})
+	if j.storedBuildTuples() != 3 {
+		t.Errorf("stored %d after init, want the 3 buffered tuples", j.storedBuildTuples())
+	}
+}
+
+func TestJoinActorNackStopsReporting(t *testing.T) {
+	cfg := actorConfig(Replication)
+	j := newJoin(cfg, cfg.joinID(0))
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0))})
+	env := &scriptEnv{}
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table})
+	j.Receive(env, rt.NoNode, &memFullNack{})
+	src := cfg.sourceID(0)
+	for i := 0; i < 10; i++ {
+		j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, 1, 2, 3, 4), Origin: src})
+	}
+	for _, s := range env.take() {
+		if _, ok := s.msg.(*memFull); ok {
+			t.Fatal("node kept reporting after NACK")
+		}
+	}
+}
+
+func TestSchedulerReplicatesOnMemFull(t *testing.T) {
+	cfg := actorConfig(Replication)
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	sched := newScheduler(cfg, table,
+		[]rt.NodeID{cfg.joinID(0), cfg.joinID(1)},
+		[]rt.NodeID{cfg.joinID(2), cfg.joinID(3)})
+	env := &scriptEnv{}
+	full := cfg.joinID(0)
+	sched.Receive(env, full, &memFull{Bytes: 2000})
+	sends := env.take()
+	init := one[*joinInit](t, sends, cfg.joinID(2))
+	if init.Range != table.Entries[0].Range {
+		t.Errorf("replica range %v, want %v", init.Range, table.Entries[0].Range)
+	}
+	ret := one[*retire](t, sends, full)
+	if ret.ForwardTo != cfg.joinID(2) {
+		t.Errorf("retire forward to %d", ret.ForwardTo)
+	}
+	if got := sched.table.Entries[0].BuildOwner(); got != int32(cfg.joinID(2)) {
+		t.Errorf("build owner now %d", got)
+	}
+	// A duplicate report from the same node is ignored.
+	sched.Receive(env, full, &memFull{Bytes: 3000})
+	if len(env.take()) != 0 {
+		t.Error("duplicate memFull triggered actions")
+	}
+}
+
+func TestSchedulerNacksWhenExhausted(t *testing.T) {
+	cfg := actorConfig(Replication)
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0))})
+	sched := newScheduler(cfg, table, []rt.NodeID{cfg.joinID(0)}, nil)
+	env := &scriptEnv{}
+	sched.Receive(env, cfg.joinID(0), &memFull{Bytes: 2000})
+	one[*memFullNack](t, env.take(), cfg.joinID(0))
+}
+
+func TestSchedulerSplitBarrier(t *testing.T) {
+	cfg := actorConfig(Split)
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	sched := newScheduler(cfg, table,
+		[]rt.NodeID{cfg.joinID(0), cfg.joinID(1)},
+		[]rt.NodeID{cfg.joinID(2), cfg.joinID(3)})
+	env := &scriptEnv{}
+	// Two overflow reports arrive back to back; only one split may issue.
+	sched.Receive(env, cfg.joinID(0), &memFull{Bytes: 2000})
+	sends := env.take()
+	order := one[*splitOrder](t, sends, cfg.joinID(0)) // pointer starts at entry 0
+	if order.NewNode != cfg.joinID(2) {
+		t.Errorf("split recruited %d", order.NewNode)
+	}
+	sched.Receive(env, cfg.joinID(1), &memFull{Bytes: 2000})
+	for _, s := range env.take() {
+		if _, ok := s.msg.(*splitOrder); ok {
+			t.Fatal("second split issued while barrier held")
+		}
+	}
+	// The victim's done message releases the barrier; the queued overflow
+	// is served next.
+	sched.Receive(env, cfg.joinID(0), &splitDone{MovedTuples: 5})
+	one[*splitOrder](t, env.take(), cfg.joinID(1))
+	if sched.splits != 2 || sched.splitMoved != 5 {
+		t.Errorf("splits=%d moved=%d", sched.splits, sched.splitMoved)
+	}
+}
+
+func TestSchedulerIgnoresMemFullOutsideBuild(t *testing.T) {
+	cfg := actorConfig(Replication)
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0))})
+	sched := newScheduler(cfg, table, []rt.NodeID{cfg.joinID(0)}, []rt.NodeID{cfg.joinID(1)})
+	env := &scriptEnv{}
+	sched.Receive(env, rt.NoNode, &startProbe{})
+	env.take()
+	sched.Receive(env, cfg.joinID(0), &memFull{Bytes: 2000})
+	if len(env.take()) != 0 {
+		t.Error("memFull acted on during probe phase")
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"ehjoin/internal/datagen"
+	"ehjoin/internal/hashfn"
+	"ehjoin/internal/metrics"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/sim"
+)
+
+// Run executes the configured join on the cluster simulator and returns the
+// measured report. This is the primary entry point for experiments.
+func Run(cfg Config) (*Report, error) {
+	n, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return Execute(n, sim.New(n.Cost))
+}
+
+// Execute runs the configured join on an arbitrary engine (simulator,
+// goroutine engine, or TCP transport). The engine must be freshly
+// constructed; Execute registers all actors and drives the phases.
+func Execute(cfg Config, eng rt.Engine) (*Report, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	build, err := datagen.New(cfg.Build)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := datagen.NewProbe(cfg.Probe, build, cfg.MatchFraction)
+	if err != nil {
+		return nil, err
+	}
+
+	sched, err := setupStage(cfg, eng, build, probe)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Drain(); err != nil {
+		return nil, fmt.Errorf("core: build phase: %w", err)
+	}
+	buildEnd := eng.NowSeconds()
+
+	// Phase 2 (hybrid only): reshuffling.
+	reshuffleEnd := buildEnd
+	if cfg.Algorithm == Hybrid {
+		eng.Inject(cfg.schedulerID(), &doReshuffle{})
+		if err := eng.Drain(); err != nil {
+			return nil, fmt.Errorf("core: reshuffle phase: %w", err)
+		}
+		reshuffleEnd = eng.NowSeconds()
+	}
+
+	// Phase 3: probing (plus, for OOC, the local out-of-core joins).
+	eng.Inject(cfg.schedulerID(), &startProbe{})
+	if err := eng.Drain(); err != nil {
+		return nil, fmt.Errorf("core: probe phase: %w", err)
+	}
+	if cfg.Algorithm == OutOfCore {
+		eng.Inject(cfg.schedulerID(), &finishOOC{})
+		if err := eng.Drain(); err != nil {
+			return nil, fmt.Errorf("core: out-of-core finish: %w", err)
+		}
+	}
+	end := eng.NowSeconds()
+
+	// Statistics round: the scheduler polls every node. This is part of
+	// the protocol (not a direct memory read) so join actors may live in
+	// other processes; it runs after timing is recorded.
+	eng.Inject(cfg.schedulerID(), &collectStats{})
+	if err := eng.Drain(); err != nil {
+		return nil, fmt.Errorf("core: stats collection: %w", err)
+	}
+
+	return assembleReport(cfg, eng, sched, buildEnd, reshuffleEnd, end)
+}
+
+// setupStage registers one complete stage instance — scheduler, data
+// sources, join nodes — on the engine, activates the initial working nodes,
+// and kicks off the table-building phase. The caller Drains.
+func setupStage(cfg Config, eng rt.Engine, build, probe relationGen) (*schedActor, error) {
+	// Initial bucket assignment: one entry per initial working node.
+	owners := make([]int32, cfg.InitialNodes)
+	working := make([]rt.NodeID, cfg.InitialNodes)
+	for i := range owners {
+		working[i] = cfg.joinID(i)
+		owners[i] = int32(working[i])
+	}
+	table, err := hashfn.NewTable(cfg.Space, owners)
+	if err != nil {
+		return nil, err
+	}
+	potential := make([]rt.NodeID, 0, cfg.MaxNodes-cfg.InitialNodes)
+	for i := cfg.InitialNodes; i < cfg.MaxNodes; i++ {
+		potential = append(potential, cfg.joinID(i))
+	}
+
+	sched := newScheduler(cfg, table, working, potential)
+	eng.Register(cfg.schedulerID(), sched)
+
+	for i := 0; i < cfg.Sources; i++ {
+		s := newSource(cfg, i, build, probe)
+		eng.Register(s.id, s)
+	}
+
+	for i := 0; i < cfg.MaxNodes; i++ {
+		j := newJoin(cfg, cfg.joinID(i))
+		eng.Register(j.id, j)
+	}
+	// Activate the initial working nodes by message, so the same flow
+	// works when join actors live in other processes (TCP transport).
+	for i := 0; i < cfg.InitialNodes; i++ {
+		eng.Inject(cfg.joinID(i), &joinInit{Range: table.Entries[i].Range, Table: table.Clone()})
+	}
+	// Phase 1: hash-table building.
+	for i := 0; i < cfg.Sources; i++ {
+		eng.Inject(cfg.sourceID(i), &startBuild{Table: table.Clone()})
+	}
+	return sched, nil
+}
+
+// assembleReport folds the scheduler's collected per-node statistics into a
+// Report and verifies the conservation invariants.
+func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
+	buildEnd, reshuffleEnd, end float64) (*Report, error) {
+
+	r := &Report{
+		Algorithm:       cfg.Algorithm,
+		InitialNodes:    cfg.InitialNodes,
+		BuildSec:        buildEnd,
+		ReshuffleSec:    reshuffleEnd - buildEnd,
+		ProbeSec:        end - reshuffleEnd,
+		TotalSec:        end,
+		Splits:          sched.splits,
+		Replications:    sched.replications,
+		ProbeExpansions: sched.probeExpansions,
+	}
+
+	if len(sched.joinStats) != cfg.MaxNodes || len(sched.sourceStats) != cfg.Sources {
+		return nil, fmt.Errorf("core: stats collection incomplete: %d/%d join nodes, %d/%d sources",
+			len(sched.joinStats), cfg.MaxNodes, len(sched.sourceStats), cfg.Sources)
+	}
+
+	util, hasUtil := eng.(interface {
+		NodeCPUSeconds(rt.NodeID) float64
+		NodeDiskSeconds(rt.NodeID) float64
+	})
+
+	var stored, probeProcessed, probeExtraTuples int64
+	for i := 0; i < cfg.MaxNodes; i++ {
+		j := sched.joinStats[cfg.joinID(i)]
+		if !j.Active {
+			if j.Stored != 0 {
+				return nil, fmt.Errorf("core: inactive node %d holds %d tuples", cfg.joinID(i), j.Stored)
+			}
+			continue
+		}
+		r.FinalNodes++
+		stored += j.Stored
+		r.NodeLoads = append(r.NodeLoads, j.Stored)
+		if hasUtil {
+			r.NodeCPUSecs = append(r.NodeCPUSecs, util.NodeCPUSeconds(cfg.joinID(i)))
+			r.NodeDiskSecs = append(r.NodeDiskSecs, util.NodeDiskSeconds(cfg.joinID(i)))
+		}
+		r.SplitMovedTuples += j.MovedOut
+		r.ReshuffleTuples += j.ReshuffleOut
+		r.SplitOpSec += float64(j.SplitOpNs) / 1e9
+		r.ForwardedChunks += j.FwdChunks
+		r.StrayBuildTuples += j.StrayBuild
+		r.Matches += j.Matches
+		r.Checksum ^= j.Checksum
+		probeProcessed += j.ProbeTuples
+		r.ExhaustedResources = r.ExhaustedResources || j.NoMoreNodes
+		r.SpillWrittenBytes += j.SpillWrittenBytes
+		r.SpillReadBytes += j.SpillReadBytes
+		r.BNLPasses += j.BNLPasses
+		r.OutputBytes += j.OutputBytes
+	}
+	for _, s := range sched.sourceStats {
+		probeExtraTuples += s.ProbeExtraCopies
+	}
+
+	// Conservation invariants: every generated build tuple is stored on
+	// exactly one node; every probe tuple (plus broadcast copies) was
+	// processed exactly once.
+	if stored != cfg.Build.Tuples {
+		return nil, fmt.Errorf("core: conservation violated: stored %d of %d build tuples",
+			stored, cfg.Build.Tuples)
+	}
+	if want := cfg.Probe.Tuples + probeExtraTuples; probeProcessed != want {
+		return nil, fmt.Errorf("core: probe conservation violated: processed %d, want %d",
+			probeProcessed, want)
+	}
+
+	r.ProbeTuplesProcessed = probeProcessed
+	r.ExtraBuildChunks = metrics.Chunks(r.SplitMovedTuples+r.ReshuffleTuples, cfg.ChunkTuples) +
+		float64(r.ForwardedChunks)
+	r.ProbeExtraChunks = metrics.Chunks(probeExtraTuples, cfg.ChunkTuples)
+	r.finalizeLoads(cfg.ChunkTuples)
+
+	if st, ok := eng.(interface{ Stats() sim.Stats }); ok {
+		r.WireBytes = st.Stats().BytesOnWire
+		r.Messages = st.Stats().Messages
+	}
+	return r, nil
+}

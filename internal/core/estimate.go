@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ehjoin/internal/datagen"
+	"ehjoin/internal/hashfn"
+	"ehjoin/internal/tuple"
+)
+
+// The paper leaves "algorithms for efficient selection of the initial set
+// of join nodes" as future work (§4) while motivating why estimation is
+// hard: sampling a selection with expensive user-defined filters costs
+// real work and may still be inaccurate (§1). This file implements the
+// natural sampling estimator so callers can trade a bounded sampling
+// budget for a starting allocation, and quantify how wrong it can be —
+// the expanding algorithms absorb the residual error at runtime.
+
+// Estimate is the outcome of sizing a join's initial node set by sampling.
+type Estimate struct {
+	// Nodes is the suggested initial allocation.
+	Nodes int
+	// ExpectedBytes is the projected hash-table footprint of the build
+	// relation.
+	ExpectedBytes int64
+	// HotFraction is the largest fraction of sampled tuples falling into
+	// a single initial bucket range — a skew warning. Under a uniform
+	// distribution with k proposed nodes this is ~1/k; values near 1 mean
+	// a single bucket will receive nearly the whole relation and the
+	// allocation should not be trusted (prefer the hybrid algorithm).
+	HotFraction float64
+	// SampledTuples is how much work the estimate cost.
+	SampledTuples int64
+}
+
+// EstimateInitialNodes samples the build relation's generator to propose an
+// initial join-node allocation for the given per-node memory budget, plus a
+// headroom factor (e.g. 1.2 keeps 20% slack). The estimator mirrors what a
+// planner would do with a sampled selection: it never scans more than
+// sampleTuples tuples.
+func EstimateInitialNodes(spec datagen.Spec, cfg Config, sampleTuples int64, headroom float64) (Estimate, error) {
+	// Apply the same defaults Run would, without demanding a complete
+	// workload configuration: the estimator needs only the memory budget,
+	// the environment size, and the position space.
+	if cfg.MemoryBudget == 0 {
+		cfg.MemoryBudget = 64 << 20
+	}
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = 24
+	}
+	if cfg.Space == (hashfn.Space{}) {
+		cfg.Space = hashfn.DefaultSpace()
+	}
+	if err := cfg.Space.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if spec.Layout.PayloadBytes == 0 {
+		spec.Layout = tuple.DefaultLayout()
+	}
+	if err := spec.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if sampleTuples <= 0 {
+		return Estimate{}, fmt.Errorf("core: sample size must be positive, got %d", sampleTuples)
+	}
+	if headroom < 1 {
+		headroom = 1
+	}
+	gen, err := datagen.New(spec)
+	if err != nil {
+		return Estimate{}, err
+	}
+
+	n := sampleTuples
+	if n > spec.Tuples {
+		n = spec.Tuples
+	}
+	// Stride through the relation so the sample sees its full extent even
+	// when tuples are generated in a correlated order.
+	stride := spec.Tuples / n
+	if stride < 1 {
+		stride = 1
+	}
+
+	expected := float64(spec.Tuples) * float64(spec.Layout.LogicalSize()) * headroom
+	nodes := int(math.Ceil(expected / float64(cfg.MemoryBudget)))
+	if nodes < 1 {
+		nodes = 1
+	}
+	if nodes > cfg.MaxNodes {
+		nodes = cfg.MaxNodes
+	}
+
+	// Skew probe: histogram the sample over the proposed initial buckets.
+	counts := make([]int64, nodes)
+	h := cfg.Space.Positions()
+	var sampled int64
+	for i := int64(0); i < spec.Tuples && sampled < n; i += stride {
+		p := cfg.Space.PositionOf(gen.KeyAt(i))
+		b := p * nodes / h
+		counts[b]++
+		sampled++
+	}
+	var hot int64
+	for _, c := range counts {
+		if c > hot {
+			hot = c
+		}
+	}
+	return Estimate{
+		Nodes:         nodes,
+		ExpectedBytes: int64(expected),
+		HotFraction:   float64(hot) / float64(sampled),
+		SampledTuples: sampled,
+	}, nil
+}

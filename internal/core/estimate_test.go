@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"ehjoin/internal/datagen"
+)
+
+func TestEstimateUniform(t *testing.T) {
+	cfg := Config{Algorithm: Hybrid, InitialNodes: 1, MemoryBudget: 1 << 20}
+	spec := datagen.Spec{Dist: datagen.Uniform, Tuples: 100_000, Seed: 3} // 10 MB at 100 B
+	est, err := EstimateInitialNodes(spec, cfg, 5_000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Nodes != 10 {
+		t.Errorf("nodes = %d, want 10 (10 MB over 1 MB budget)", est.Nodes)
+	}
+	if est.HotFraction > 0.25 {
+		t.Errorf("uniform hot fraction %.2f, want ~1/nodes", est.HotFraction)
+	}
+	if est.SampledTuples > 5_000 {
+		t.Errorf("sampled %d tuples, budget was 5000", est.SampledTuples)
+	}
+}
+
+func TestEstimateDetectsSkew(t *testing.T) {
+	cfg := Config{Algorithm: Hybrid, InitialNodes: 1, MemoryBudget: 1 << 20}
+	// Mean 0.37 keeps the hot window inside one bucket (0.5 would land on
+	// a bucket boundary and split the mass across two).
+	spec := datagen.Spec{Dist: datagen.Gaussian, Mean: 0.37, Sigma: 0.0001, Tuples: 100_000, Seed: 3}
+	est, err := EstimateInitialNodes(spec, cfg, 5_000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.HotFraction < 0.9 {
+		t.Errorf("extreme skew hot fraction %.2f, want near 1", est.HotFraction)
+	}
+}
+
+func TestEstimateHeadroomAndCaps(t *testing.T) {
+	cfg := Config{Algorithm: Hybrid, InitialNodes: 1, MaxNodes: 6, MemoryBudget: 1 << 20}
+	spec := datagen.Spec{Dist: datagen.Uniform, Tuples: 100_000, Seed: 3}
+	withHeadroom, err := EstimateInitialNodes(spec, cfg, 1_000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withHeadroom.Nodes != 6 {
+		t.Errorf("nodes = %d, want capped at MaxNodes 6", withHeadroom.Nodes)
+	}
+	tiny := datagen.Spec{Dist: datagen.Uniform, Tuples: 10, Seed: 3}
+	est, err := EstimateInitialNodes(tiny, cfg, 1_000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Nodes != 1 {
+		t.Errorf("tiny relation nodes = %d, want 1", est.Nodes)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	cfg := Config{Algorithm: Hybrid, InitialNodes: 1}
+	good := datagen.Spec{Dist: datagen.Uniform, Tuples: 100, Seed: 1}
+	if _, err := EstimateInitialNodes(good, cfg, 0, 1); err == nil {
+		t.Error("zero sample budget accepted")
+	}
+	if _, err := EstimateInitialNodes(datagen.Spec{Tuples: 0}, cfg, 10, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// TestEstimateDrivesAGoodRun closes the loop: size the allocation by
+// sampling, run the join, and verify the estimate prevented expansion.
+func TestEstimateDrivesAGoodRun(t *testing.T) {
+	cfg := testConfig(Hybrid)
+	est, err := EstimateInitialNodes(cfg.Build, cfg, 2_000, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InitialNodes = est.Nodes
+	r := runAndVerify(t, cfg)
+	if r.Replications != 0 {
+		t.Errorf("estimated allocation of %d nodes still expanded (%d replications)",
+			est.Nodes, r.Replications)
+	}
+}

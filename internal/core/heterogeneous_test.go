@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+)
+
+// TestPickPotentialPrefersLargestMemory verifies the paper's recruitment
+// policy on a heterogeneous cluster: the potential node with the largest
+// memory is selected first.
+func TestPickPotentialPrefersLargestMemory(t *testing.T) {
+	cfg := actorConfig(Replication)
+	cfg.NodeBudgets = []int64{0, 0, 1 << 20, 8 << 20} // nodes 2 and 3 differ
+	cfg, err := cfg.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	sched := newScheduler(cfg, table,
+		[]rt.NodeID{cfg.joinID(0), cfg.joinID(1)},
+		[]rt.NodeID{cfg.joinID(2), cfg.joinID(3)})
+
+	n, ok := sched.pickPotential()
+	if !ok || n != cfg.joinID(3) {
+		t.Errorf("first pick %d, want the 8MB node %d", n, cfg.joinID(3))
+	}
+	n, ok = sched.pickPotential()
+	if !ok || n != cfg.joinID(2) {
+		t.Errorf("second pick %d, want %d", n, cfg.joinID(2))
+	}
+	if _, ok := sched.pickPotential(); ok {
+		t.Error("empty potential list still picked")
+	}
+}
+
+// TestHeterogeneousClusterRun runs a full join where recruited nodes have
+// very different budgets; result correctness and conservation must hold,
+// and the big node must absorb more than the small ones.
+func TestHeterogeneousClusterRun(t *testing.T) {
+	for _, alg := range []Algorithm{Replication, Hybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := testConfig(alg)
+			cfg.MaxNodes = 6
+			// Two small initial nodes; potential nodes: one big, three tiny.
+			cfg.NodeBudgets = []int64{
+				600 << 10, 600 << 10, // initial
+				4 << 20, 300 << 10, 300 << 10, 300 << 10, // potential
+			}
+			r := runAndVerify(t, cfg)
+			if r.FinalNodes <= cfg.InitialNodes {
+				t.Fatal("no expansion under memory pressure")
+			}
+			// The big node (index 2) is recruited first.
+			if r.NodeLoads[2] == 0 {
+				t.Error("largest potential node was not used")
+			}
+		})
+	}
+}
+
+// TestBudgetForDefaults checks the per-node budget fallback.
+func TestBudgetForDefaults(t *testing.T) {
+	cfg := actorConfig(Split)
+	cfg.NodeBudgets = []int64{0, 42}
+	n, err := cfg.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.budgetFor(0); got != n.MemoryBudget {
+		t.Errorf("zero entry should fall back, got %d", got)
+	}
+	if got := n.budgetFor(1); got != 42 {
+		t.Errorf("budgetFor(1) = %d", got)
+	}
+	if got := n.budgetFor(3); got != n.MemoryBudget {
+		t.Errorf("out-of-list entry should fall back, got %d", got)
+	}
+	if got := n.budgetOf(n.joinID(1)); got != 42 {
+		t.Errorf("budgetOf(joinID(1)) = %d", got)
+	}
+}
+
+func TestNodeBudgetValidation(t *testing.T) {
+	cfg := testConfig(Split)
+	cfg.MaxNodes = 2
+	cfg.InitialNodes = 1
+	cfg.NodeBudgets = []int64{1, 2, 3}
+	if _, err := Run(cfg); err == nil {
+		t.Error("oversized NodeBudgets accepted")
+	}
+	cfg.NodeBudgets = []int64{-5}
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"ehjoin/internal/datagen"
+	"ehjoin/internal/hashfn"
+	"ehjoin/internal/hashtable"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/spill"
+	"ehjoin/internal/tuple"
+)
+
+// joinActor is one join process (§4.1.3). It builds and maintains its
+// portion of the hash table, reports bucket overflow to the scheduler,
+// participates in splits / replication hand-offs / reshuffling according to
+// the configured algorithm, and probes its local table in the probe phase.
+type joinActor struct {
+	cfg    Config
+	id     rt.NodeID
+	budget int64 // this node's hash-memory budget
+
+	active bool
+	rng    hashfn.Range  // authoritative owned range
+	route  *hashfn.Table // latest routing-table copy (for stray forwarding)
+	table  *hashtable.Table
+	spill  *spill.Manager // out-of-core only
+
+	// Overflow-reporting state.
+	lastReport  int64 // table bytes when memFull was last sent
+	noMoreNodes bool  // scheduler NACKed: environment exhausted
+	retired     bool  // replication/hybrid: stopped growing
+	forwardTo   rt.NodeID
+
+	// preInit buffers chunks that arrive before this node's joinInit (the
+	// scheduler's broadcast can reach a data source, or a split order its
+	// victim, before the init message reaches the recruited node).
+	preInit []preInitChunk
+
+	// fw, when set, makes this node a multi-way pipeline stage: probe
+	// matches are forwarded to the next stage instead of being emitted.
+	fw *setForward
+
+	// Probe-phase expansion state (§4 footnote 1, with MaterializeOutput).
+	outputBytes   int64 // accumulated materialised matches
+	probeRetired  bool  // handed the range to a probe-phase recruit
+	awaitClone    bool  // recruit: hold probe tuples until the clone lands
+	cloneReceived int64
+	cloneTotal    int64 // -1 until cloneEnd announces it
+	heldProbes    []*tuple.Chunk
+
+	// Stats.
+	buildChunks   int64
+	fwdChunks     int64 // forwarded pending buffers / stray sub-chunks
+	movedOut      int64 // tuples migrated away by splits
+	movedIn       int64 // tuples migrated in by splits
+	reshuffleOut  int64 // tuples redistributed away by reshuffling
+	splitOpNs     int64 // time attributable to split operations (Figure 5)
+	probeTuples   int64
+	matches       uint64
+	checksum      uint64
+	strayBuild    int64 // build tuples that arrived outside the owned range
+	forwarded     int64 // matches forwarded to the next pipeline stage
+	forwardCopies int64 // forwarded sends including broadcast copies
+}
+
+func newJoin(cfg Config, id rt.NodeID) *joinActor {
+	j := &joinActor{cfg: cfg, id: id, budget: cfg.budgetOf(id), forwardTo: rt.NoNode}
+	j.table = hashtable.New(cfg.Space, cfg.Build.Layout)
+	if cfg.Algorithm == OutOfCore {
+		j.spill = spill.NewWithPolicy(cfg.Space, cfg.Build.Layout, cfg.Probe.Layout,
+			j.budget, cfg.SpillPartitions, cfg.Cost, cfg.OOCPolicy)
+	}
+	return j
+}
+
+// activate marks the node working with the given range (initial assignment
+// or recruitment).
+func (j *joinActor) activate(rng hashfn.Range, route *hashfn.Table) {
+	j.active = true
+	j.rng = rng
+	j.updateRoute(route)
+}
+
+func (j *joinActor) updateRoute(t *hashfn.Table) {
+	if t != nil && (j.route == nil || t.Version > j.route.Version) {
+		j.route = t
+	}
+}
+
+// Receive implements runtime.Actor.
+func (j *joinActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	switch msg := m.(type) {
+	case *joinInit:
+		j.activate(msg.Range, msg.Table)
+		if msg.AwaitClone {
+			j.awaitClone = true
+			j.cloneTotal = -1
+		}
+		for _, p := range j.preInit {
+			if p.migrated {
+				j.onMoveTuples(env, p.chunk)
+			} else {
+				j.dispatchChunk(env, p.chunk)
+			}
+		}
+		j.preInit = nil
+	case *dataChunk:
+		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+		if msg.Origin != rt.NoNode {
+			env.Send(msg.Origin, &chunkAck{Rel: msg.Chunk.Rel})
+		}
+		if !j.active {
+			j.preInit = append(j.preInit, preInitChunk{chunk: msg.Chunk})
+			return
+		}
+		j.dispatchChunk(env, msg.Chunk)
+	case *moveTuples:
+		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+		if !j.active {
+			j.preInit = append(j.preInit, preInitChunk{chunk: msg.Chunk, migrated: true})
+			return
+		}
+		j.onMoveTuples(env, msg.Chunk)
+	case *splitOrder:
+		j.onSplit(env, msg)
+	case *retire:
+		j.retired = true
+		j.forwardTo = msg.ForwardTo
+		j.updateRoute(msg.Table)
+	case *routeUpdate:
+		j.updateRoute(msg.Table)
+	case *memFullNack:
+		j.noMoreNodes = true
+	case *countReq:
+		counts := j.table.CountsInRange(msg.Range)
+		env.ChargeCPU(int64(len(counts)) * 2)
+		env.Send(from, &countResp{Range: msg.Range, Counts: counts})
+	case *reshuffleAssign:
+		j.onReshuffle(env, msg)
+	case *finishOOC:
+		if j.spill != nil {
+			j.spill.Finish(env)
+		}
+	case *setForward:
+		j.fw = msg
+	case *cloneTable:
+		j.onCloneTable(env, msg)
+	case *cloneTuples:
+		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(msg.Chunk.Tuples)))
+		j.table.InsertChunk(msg.Chunk)
+		j.cloneReceived += int64(len(msg.Chunk.Tuples))
+		j.maybeReleaseHeldProbes(env)
+	case *cloneEnd:
+		j.cloneTotal = msg.TotalTuples
+		j.maybeReleaseHeldProbes(env)
+	case *statsReq:
+		env.Send(from, j.snapshot())
+	}
+}
+
+// onCloneTable copies this node's hash table to the probe-phase recruit
+// taking over its range; unlike a split, the sender keeps its copy to serve
+// in-flight strays and retains its accumulated output.
+func (j *joinActor) onCloneTable(env rt.Env, msg *cloneTable) {
+	j.probeRetired = true
+	copied := make([]tuple.Tuple, 0, j.table.Count())
+	j.table.ForEach(func(t tuple.Tuple) { copied = append(copied, t) })
+	env.ChargeCPU(j.cfg.Cost.MoveNs * int64(len(copied)))
+	for lo := 0; lo < len(copied); lo += j.cfg.ChunkTuples {
+		hi := lo + j.cfg.ChunkTuples
+		if hi > len(copied) {
+			hi = len(copied)
+		}
+		chunk := &tuple.Chunk{Rel: tuple.RelR, Layout: j.cfg.Build.Layout, Tuples: copied[lo:hi]}
+		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+		env.Send(msg.To, &cloneTuples{Chunk: chunk})
+	}
+	env.Send(msg.To, &cloneEnd{TotalTuples: int64(len(copied))})
+}
+
+// maybeReleaseHeldProbes processes buffered probe tuples once the clone is
+// complete (count matches the announced total).
+func (j *joinActor) maybeReleaseHeldProbes(env rt.Env) {
+	if !j.awaitClone || j.cloneTotal < 0 || j.cloneReceived < j.cloneTotal {
+		return
+	}
+	j.awaitClone = false
+	held := j.heldProbes
+	j.heldProbes = nil
+	for _, c := range held {
+		j.onProbeChunk(env, c)
+	}
+}
+
+// snapshot captures the node's statistics for the scheduler's collection.
+// Cloned-in tuples are excluded from Stored: they are copies, and the
+// conservation invariant counts each build tuple exactly once (at the node
+// that originally stored it).
+func (j *joinActor) snapshot() *joinStats {
+	s := &joinStats{
+		Active:          j.active,
+		Stored:          j.storedBuildTuples() - j.cloneReceived,
+		OutputBytes:     j.outputBytes,
+		MovedOut:        j.movedOut,
+		ReshuffleOut:    j.reshuffleOut,
+		SplitOpNs:       j.splitOpNs,
+		FwdChunks:       j.fwdChunks,
+		StrayBuild:      j.strayBuild,
+		ProbeTuples:     j.probeTuples,
+		Matches:         j.totalMatches(),
+		Checksum:        j.totalChecksum(),
+		Forwarded:       j.forwarded,
+		ForwardedCopies: j.forwardCopies,
+		NoMoreNodes:     j.noMoreNodes,
+	}
+	if j.spill != nil {
+		s.SpillWrittenBytes = j.spill.SpillWrittenBytes
+		s.SpillReadBytes = j.spill.SpillReadBytes
+		s.BNLPasses = j.spill.BNLPasses
+	}
+	return s
+}
+
+// preInitChunk is a chunk buffered before the node was initialised.
+type preInitChunk struct {
+	chunk    *tuple.Chunk
+	migrated bool // arrived as a moveTuples migration
+}
+
+// onMoveTuples absorbs migrated tuples (split migration or reshuffle
+// redistribution).
+func (j *joinActor) onMoveTuples(env rt.Env, c *tuple.Chunk) {
+	j.movedIn += int64(len(c.Tuples))
+	if j.cfg.Algorithm == Split {
+		// This node's range may have been split again while the migration
+		// was in flight; re-forward any strays.
+		j.insertOrForward(env, c)
+	} else {
+		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(c.Tuples)))
+		j.table.InsertChunk(c)
+	}
+	j.checkOverflow(env, c.LogicalBytes())
+}
+
+// dispatchChunk routes an arriving chunk to the build or probe path.
+func (j *joinActor) dispatchChunk(env rt.Env, c *tuple.Chunk) {
+	if c.Rel == tuple.RelR {
+		j.onBuildChunk(env, c)
+	} else {
+		j.onProbeChunk(env, c)
+	}
+}
+
+// onBuildChunk inserts (or spills, or forwards) one arriving build chunk.
+func (j *joinActor) onBuildChunk(env rt.Env, c *tuple.Chunk) {
+	j.buildChunks++
+	if j.spill != nil { // out-of-core baseline
+		for _, t := range c.Tuples {
+			j.spill.InsertBuild(env, t)
+		}
+		return
+	}
+	if j.retired {
+		// A pending buffer for a range this node stopped growing:
+		// forward it wholesale to the node now receiving the range. Use
+		// the latest routing table so the chunk goes straight to the
+		// current tail instead of hopping through every retired replica.
+		dest := j.forwardTo
+		if j.route != nil && len(c.Tuples) > 0 {
+			p := j.cfg.Space.PositionOf(c.Tuples[0].Key)
+			if owner := rt.NodeID(j.route.BuildOwnerOf(p)); owner != j.id {
+				dest = owner
+			}
+		}
+		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+		env.Send(dest, &dataChunk{Chunk: c, Origin: rt.NoNode, Forwarded: true})
+		j.fwdChunks++
+		return
+	}
+	if j.cfg.Algorithm == Split {
+		j.insertOrForward(env, c)
+	} else {
+		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(c.Tuples)))
+		j.table.InsertChunk(c)
+	}
+	j.checkOverflow(env, c.LogicalBytes())
+}
+
+// insertOrForward inserts the tuples belonging to this node's range and
+// re-routes strays (tuples sent under a routing table that predates one or
+// more splits) to their current owners.
+func (j *joinActor) insertOrForward(env rt.Env, c *tuple.Chunk) {
+	var strays map[rt.NodeID]*tuple.Builder
+	inserted := 0
+	for _, t := range c.Tuples {
+		p := j.cfg.Space.PositionOf(t.Key)
+		if j.rng.Contains(p) {
+			j.table.Insert(t)
+			inserted++
+			continue
+		}
+		j.strayBuild++
+		dest := rt.NodeID(j.route.BuildOwnerOf(p))
+		if dest == j.id {
+			// Routing disagreement can only be transient; treat the tuple
+			// as ours rather than looping it through the network.
+			j.table.Insert(t)
+			inserted++
+			continue
+		}
+		if strays == nil {
+			strays = make(map[rt.NodeID]*tuple.Builder)
+		}
+		b := strays[dest]
+		if b == nil {
+			b = tuple.NewBuilder(c.Rel, c.Layout, j.cfg.ChunkTuples)
+			strays[dest] = b
+		}
+		env.ChargeCPU(j.cfg.Cost.MoveNs)
+		if full := b.Add(t); full != nil {
+			j.sendForward(env, dest, full)
+		}
+	}
+	env.ChargeCPU(j.cfg.Cost.BuildNs * int64(inserted))
+	for _, dest := range sortedNodeIDs(strays) {
+		if part := strays[dest].Flush(); part != nil {
+			j.sendForward(env, dest, part)
+		}
+	}
+}
+
+func (j *joinActor) sendForward(env rt.Env, dest rt.NodeID, c *tuple.Chunk) {
+	env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+	env.Send(dest, &dataChunk{Chunk: c, Origin: rt.NoNode, Forwarded: true})
+	j.fwdChunks++
+}
+
+// checkOverflow reports bucket overflow to the scheduler. A node re-reports
+// as it keeps growing past the budget (re-armed per received chunk's worth
+// of growth), and stops once the scheduler signals resource exhaustion.
+func (j *joinActor) checkOverflow(env rt.Env, grewBy int) {
+	if j.noMoreNodes || j.retired {
+		return
+	}
+	b := j.table.Bytes()
+	if b <= j.budget {
+		return
+	}
+	if j.lastReport != 0 && b < j.lastReport+int64(grewBy) {
+		return
+	}
+	j.lastReport = b
+	env.Send(j.cfg.schedulerID(), &memFull{Bytes: b})
+}
+
+// onSplit executes a split order: keep the lower half, migrate the upper
+// half's tuples to the recruited node, release the scheduler's barrier.
+func (j *joinActor) onSplit(env rt.Env, msg *splitOrder) {
+	j.rng = msg.Lower
+	j.updateRoute(msg.Table)
+	moved := j.table.ExtractRange(msg.Upper)
+	env.ChargeCPU(j.cfg.Cost.MoveNs * int64(len(moved)))
+	j.movedOut += int64(len(moved))
+	j.shipTuples(env, msg.NewNode, moved, j.cfg.Build.Layout)
+	// With BlockingMigration the victim's CPU is occupied for the
+	// transfer's full wire time before its done message releases the
+	// scheduler's barrier split pointer — a blocking-send implementation.
+	// Otherwise the migration drains through the TX port concurrently
+	// with ongoing work and the barrier releases after extraction.
+	movedBytes := int64(len(moved)) * int64(j.cfg.Build.Layout.LogicalSize())
+	if j.cfg.Cost.BlockingMigration {
+		env.ChargeCPU(j.cfg.Cost.NetTransferNs(int(movedBytes)))
+	}
+	j.splitOpNs += j.cfg.Cost.MoveNs*int64(len(moved)) +
+		j.cfg.Cost.NetTransferNs(int(movedBytes)) +
+		j.cfg.Cost.BuildNs*int64(len(moved)) // re-insertion at the new node
+	if j.table.Bytes() <= j.budget {
+		j.lastReport = 0 // relieved; future overflows report afresh
+	}
+	env.Send(j.cfg.schedulerID(), &splitDone{MovedTuples: int64(len(moved))})
+}
+
+// shipTuples sends migrated tuples in chunk-sized moveTuples messages.
+func (j *joinActor) shipTuples(env rt.Env, dest rt.NodeID, ts []tuple.Tuple, layout tuple.Layout) {
+	for lo := 0; lo < len(ts); lo += j.cfg.ChunkTuples {
+		hi := lo + j.cfg.ChunkTuples
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		chunk := &tuple.Chunk{Rel: tuple.RelR, Layout: layout, Tuples: ts[lo:hi]}
+		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+		env.Send(dest, &moveTuples{Chunk: chunk})
+	}
+}
+
+// onReshuffle redistributes this node's share of a replicated range so the
+// group's ranges become disjoint again (§4.2.3).
+func (j *joinActor) onReshuffle(env rt.Env, msg *reshuffleAssign) {
+	j.rng = msg.Keep
+	j.retired = false
+	j.forwardTo = rt.NoNode
+	j.updateRoute(msg.Table)
+	for _, e := range msg.GroupEntries {
+		owner := rt.NodeID(e.Owners[0])
+		if owner == j.id {
+			continue
+		}
+		moved := j.table.ExtractRange(e.Range)
+		if len(moved) == 0 {
+			continue
+		}
+		env.ChargeCPU(j.cfg.Cost.MoveNs * int64(len(moved)))
+		j.reshuffleOut += int64(len(moved))
+		j.shipTuples(env, owner, moved, j.cfg.Build.Layout)
+	}
+}
+
+// onProbeChunk probes every tuple of an arriving probe chunk against the
+// local table.
+func (j *joinActor) onProbeChunk(env rt.Env, c *tuple.Chunk) {
+	if j.awaitClone {
+		// Probe-phase recruit: the table clone has not fully arrived yet.
+		j.heldProbes = append(j.heldProbes, c)
+		return
+	}
+	j.probeTuples += int64(len(c.Tuples))
+	if j.spill != nil {
+		for _, t := range c.Tuples {
+			j.spill.Probe(env, t)
+		}
+		return
+	}
+	if j.fw != nil {
+		j.probeAndForward(env, c)
+		return
+	}
+	env.ChargeCPU(j.cfg.Cost.ProbeNs * int64(len(c.Tuples)))
+	for _, s := range c.Tuples {
+		n := j.table.Probe(s.Key, func(r tuple.Tuple) {
+			j.checksum ^= spill.MixPair(r.Index, s.Index)
+		})
+		if n > 0 {
+			j.matches += uint64(n)
+			env.ChargeCPU(j.cfg.Cost.MatchNs * int64(n))
+		}
+	}
+	if j.cfg.MaterializeOutput {
+		j.checkProbeOverflow(env, c)
+	}
+}
+
+// checkProbeOverflow accounts materialised output and reports overflow
+// during the probe phase (§4 footnote 1).
+func (j *joinActor) checkProbeOverflow(env rt.Env, c *tuple.Chunk) {
+	j.outputBytes = int64(j.matches) * int64(j.cfg.outputLayout().LogicalSize())
+	if j.probeRetired || j.noMoreNodes {
+		return
+	}
+	total := j.table.Bytes() + j.outputBytes
+	if total <= j.budget {
+		return
+	}
+	if j.lastReport != 0 && total < j.lastReport+int64(c.LogicalBytes()) {
+		return
+	}
+	j.lastReport = total
+	env.Send(j.cfg.schedulerID(), &memFull{Bytes: total})
+}
+
+// probeAndForward is the multi-way pipeline stage's probe path: each match
+// becomes an intermediate tuple, keyed by the matched build tuple's
+// next-level join attribute and carrying the running path fingerprint,
+// streamed to the next stage's nodes.
+func (j *joinActor) probeAndForward(env rt.Env, c *tuple.Chunk) {
+	env.ChargeCPU(j.cfg.Cost.ProbeNs * int64(len(c.Tuples)))
+	var out map[rt.NodeID]*tuple.Builder
+	for _, s := range c.Tuples {
+		n := j.table.Probe(s.Key, func(b tuple.Tuple) {
+			next := tuple.Tuple{
+				Index: spill.MixPair(b.Index, s.Index),
+				Key:   datagen.ChainKeyAt(j.fw.NextSeed, int64(b.Index)),
+			}
+			j.forwarded++
+			p := j.cfg.Space.PositionOf(next.Key)
+			for _, o := range j.fw.NextTable.ProbeOwnersOf(p) {
+				dest := rt.NodeID(o)
+				if out == nil {
+					out = make(map[rt.NodeID]*tuple.Builder)
+				}
+				bld := out[dest]
+				if bld == nil {
+					bld = tuple.NewBuilder(tuple.RelS, j.fw.Layout, j.cfg.ChunkTuples)
+					out[dest] = bld
+				}
+				j.forwardCopies++
+				if full := bld.Add(next); full != nil {
+					j.sendStageChunk(env, dest, full)
+				}
+			}
+		})
+		if n > 0 {
+			j.matches += uint64(n)
+			env.ChargeCPU(j.cfg.Cost.MatchNs * int64(n))
+		}
+	}
+	// Flush per incoming chunk: a stage node cannot know locally when the
+	// whole probe stream ends, so intermediate chunks may run short.
+	for _, dest := range sortedNodeIDs(out) {
+		if part := out[dest].Flush(); part != nil {
+			j.sendStageChunk(env, dest, part)
+		}
+	}
+}
+
+func (j *joinActor) sendStageChunk(env rt.Env, dest rt.NodeID, c *tuple.Chunk) {
+	env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+	env.Send(dest, &dataChunk{Chunk: c, Origin: rt.NoNode})
+}
+
+// storedBuildTuples counts the build tuples this node holds (conservation
+// invariant and load-balance metrics).
+func (j *joinActor) storedBuildTuples() int64 {
+	if j.spill != nil {
+		return j.spill.StoredBuildTuples()
+	}
+	return j.table.Count()
+}
+
+// totalMatches merges in-core and out-of-core match counts.
+func (j *joinActor) totalMatches() uint64 {
+	if j.spill != nil {
+		return j.matches + j.spill.Matches()
+	}
+	return j.matches
+}
+
+func (j *joinActor) totalChecksum() uint64 {
+	if j.spill != nil {
+		return j.checksum ^ j.spill.Checksum()
+	}
+	return j.checksum
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+)
+
+// Protocol messages exchanged between the scheduler, data sources, and join
+// processes. Wire sizes are logical: chunk-bearing messages dominate and are
+// charged their full logical tuple volume; control messages are small.
+
+const ctrlBytes = 32 // nominal size of a small control message
+
+// startBuild kicks a data source into the table-building phase.
+type startBuild struct {
+	Table *hashfn.Table
+}
+
+func (*startBuild) WireSize() int { return ctrlBytes }
+
+// genStep is a data source's self-message driving incremental generation,
+// so generation interleaves with acknowledgement processing.
+type genStep struct{}
+
+func (*genStep) WireSize() int { return ctrlBytes }
+
+// dataChunk carries tuples from a data source (or a forwarding join node)
+// to a join node.
+type dataChunk struct {
+	Chunk *tuple.Chunk
+	// Origin is the data source owed the flow-control credit.
+	Origin rt.NodeID
+	// Forwarded marks chunks re-sent by a join node (pending buffers of a
+	// full node, or strays after a split).
+	Forwarded bool
+}
+
+func (m *dataChunk) WireSize() int { return 16 + m.Chunk.LogicalBytes() }
+
+// chunkAck returns a flow-control credit to a data source.
+type chunkAck struct {
+	Rel tuple.Relation
+}
+
+func (*chunkAck) WireSize() int { return ctrlBytes }
+
+// sourcePhaseDone tells the scheduler a data source has generated and
+// shipped its entire slice of the current relation.
+type sourcePhaseDone struct {
+	Rel    tuple.Relation
+	Chunks int64
+}
+
+func (*sourcePhaseDone) WireSize() int { return ctrlBytes }
+
+// memFull reports bucket overflow to the scheduler (§4.1.3).
+type memFull struct {
+	Bytes int64
+}
+
+func (*memFull) WireSize() int { return ctrlBytes }
+
+// memFullNack tells an overflowed node no more resources exist; it must
+// keep going over budget (the environment is exhausted).
+type memFullNack struct{}
+
+func (*memFullNack) WireSize() int { return ctrlBytes }
+
+// joinInit instantiates a join process on a recruited node with its hash
+// range (split upper half, or the replicated range). AwaitClone marks a
+// probe-phase recruitment (§4 footnote 1): the node must buffer incoming
+// probe tuples until the full node's table clone has arrived.
+type joinInit struct {
+	Range      hashfn.Range
+	Table      *hashfn.Table
+	AwaitClone bool
+}
+
+func (m *joinInit) WireSize() int { return ctrlBytes + tableWireBytes(m.Table) }
+
+// splitOrder tells a working join node to split: keep Lower, migrate the
+// tuples of Upper to NewNode.
+type splitOrder struct {
+	Lower, Upper hashfn.Range
+	NewNode      rt.NodeID
+	Table        *hashfn.Table
+}
+
+func (m *splitOrder) WireSize() int { return ctrlBytes + tableWireBytes(m.Table) }
+
+// splitDone releases the scheduler's barrier split pointer.
+type splitDone struct {
+	MovedTuples int64
+}
+
+func (*splitDone) WireSize() int { return ctrlBytes }
+
+// retire tells a full join node (replication/hybrid) to stop accepting
+// build tuples and forward subsequently arriving buffers to ForwardTo.
+type retire struct {
+	ForwardTo rt.NodeID
+	Table     *hashfn.Table
+}
+
+func (m *retire) WireSize() int { return ctrlBytes + tableWireBytes(m.Table) }
+
+// routeUpdate broadcasts the new routing table to sources and join nodes.
+type routeUpdate struct {
+	Table *hashfn.Table
+}
+
+func (m *routeUpdate) WireSize() int { return ctrlBytes + tableWireBytes(m.Table) }
+
+// moveTuples carries migrated tuples (split migration or reshuffle
+// redistribution) between join nodes.
+type moveTuples struct {
+	Chunk *tuple.Chunk
+}
+
+func (m *moveTuples) WireSize() int { return 16 + m.Chunk.LogicalBytes() }
+
+// cloneTable (scheduler -> probe-full node) asks the node to copy its hash
+// table to the recruited node taking over its range for the rest of the
+// probe phase (§4 footnote 1).
+type cloneTable struct {
+	To rt.NodeID
+}
+
+func (*cloneTable) WireSize() int { return ctrlBytes }
+
+// cloneTuples carries copied hash-table contents to a probe-phase recruit.
+// Unlike moveTuples the sender keeps its copy (it still serves in-flight
+// strays and holds its accumulated output).
+type cloneTuples struct {
+	Chunk *tuple.Chunk
+}
+
+func (m *cloneTuples) WireSize() int { return 16 + m.Chunk.LogicalBytes() }
+
+// cloneEnd announces the clone's total tuple count; the recruit releases
+// its held probe tuples once it has received exactly this many.
+type cloneEnd struct {
+	TotalTuples int64
+}
+
+func (*cloneEnd) WireSize() int { return ctrlBytes }
+
+// doReshuffle starts the hybrid algorithm's reshuffling step (injected by
+// the orchestrator between the build and probe phases).
+type doReshuffle struct{}
+
+func (*doReshuffle) WireSize() int { return ctrlBytes }
+
+// countReq asks a join node for its per-position tuple counts over a range.
+type countReq struct {
+	Range hashfn.Range
+}
+
+func (*countReq) WireSize() int { return ctrlBytes }
+
+// countResp returns per-position counts for the requested range: the local
+// half of the reshuffle's global-sum step.
+type countResp struct {
+	Range  hashfn.Range
+	Counts []int64
+}
+
+func (m *countResp) WireSize() int { return ctrlBytes + 8*len(m.Counts) }
+
+// reshuffleAssign gives a group member its new disjoint sub-range. The
+// member extracts everything outside the sub-range and sends it to the
+// owners given in GroupEntries.
+type reshuffleAssign struct {
+	Keep         hashfn.Range
+	GroupEntries []hashfn.Entry
+	Table        *hashfn.Table
+}
+
+func (m *reshuffleAssign) WireSize() int {
+	return ctrlBytes + 16*len(m.GroupEntries) + tableWireBytes(m.Table)
+}
+
+// startProbe moves a data source (or, for OOC, a join node) to the probe
+// phase with the final routing table.
+type startProbe struct {
+	Table *hashfn.Table
+}
+
+func (m *startProbe) WireSize() int { return ctrlBytes + tableWireBytes(m.Table) }
+
+// finishOOC tells an out-of-core join node to join its spilled partition
+// pairs (the OOC algorithm's final local phase).
+type finishOOC struct{}
+
+func (*finishOOC) WireSize() int { return ctrlBytes }
+
+// setForward (injected by the multi-way orchestrator before the probe
+// phase) turns a join node into a pipeline stage: every probe match is
+// forwarded as a probe tuple to the next stage's nodes instead of being
+// emitted.
+type setForward struct {
+	// NextTable is the next stage's final routing table.
+	NextTable *hashfn.Table
+	// NextSeed is the stage's build relation seed; a matched build tuple's
+	// next-level join attribute is datagen.ChainKeyAt(NextSeed, b.Index).
+	NextSeed uint64
+	// Layout is the logical shape of forwarded intermediate tuples.
+	Layout tuple.Layout
+}
+
+func (m *setForward) WireSize() int { return ctrlBytes + tableWireBytes(m.NextTable) }
+
+// collectStats (injected by the orchestrator after the final phase) makes
+// the scheduler gather per-node statistics from every source and join node.
+type collectStats struct{}
+
+func (*collectStats) WireSize() int { return ctrlBytes }
+
+// statsReq asks a node for its run statistics.
+type statsReq struct{}
+
+func (*statsReq) WireSize() int { return ctrlBytes }
+
+// joinStats is a join node's statistics snapshot.
+type joinStats struct {
+	Active            bool
+	Stored            int64
+	MovedOut          int64
+	ReshuffleOut      int64
+	SplitOpNs         int64
+	FwdChunks         int64
+	StrayBuild        int64
+	ProbeTuples       int64
+	Matches           uint64
+	Checksum          uint64
+	Forwarded         int64 // matches forwarded to the next pipeline stage
+	ForwardedCopies   int64 // forwarded sends including broadcast copies
+	OutputBytes       int64 // materialised join output held in memory
+	NoMoreNodes       bool
+	SpillWrittenBytes int64
+	SpillReadBytes    int64
+	BNLPasses         int64
+}
+
+func (*joinStats) WireSize() int { return 128 }
+
+// sourceStats is a data source's statistics snapshot.
+type sourceStats struct {
+	ChunksSent       int64
+	ProbeExtraCopies int64
+}
+
+func (*sourceStats) WireSize() int { return 64 }
+
+func tableWireBytes(t *hashfn.Table) int {
+	if t == nil {
+		return 0
+	}
+	n := 16
+	for _, e := range t.Entries {
+		n += 12 + 4*len(e.Owners)
+	}
+	return n
+}

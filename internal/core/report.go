@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"ehjoin/internal/metrics"
+)
+
+// Report is the outcome of one join execution: the result fingerprint plus
+// every measurement the paper's figures plot.
+type Report struct {
+	Algorithm    Algorithm
+	InitialNodes int
+	// FinalNodes counts every join node that participated (working plus
+	// full), i.e. the paper's expanded node set.
+	FinalNodes int
+
+	// Phase timings in engine seconds (virtual on the simulator).
+	BuildSec     float64
+	ReshuffleSec float64
+	ProbeSec     float64
+	TotalSec     float64
+
+	// Expansion activity.
+	Splits       int64
+	Replications int64
+	// ProbeExpansions counts probe-phase recruitments (§4 footnote 1,
+	// MaterializeOutput runs only).
+	ProbeExpansions int64
+	// OutputBytes is the total materialised join output held in memory
+	// across nodes at the end of a MaterializeOutput run.
+	OutputBytes int64
+	// SplitOpSec is the cumulative time attributable to split operations
+	// (extraction, migration wire time, re-insertion), the paper's
+	// Figure 5 "split time".
+	SplitOpSec float64
+	// ExhaustedResources is set when the environment ran out of potential
+	// nodes and an algorithm had to proceed over budget.
+	ExhaustedResources bool
+
+	// Communication accounting.
+	SplitMovedTuples int64 // tuples migrated by bucket splits
+	ReshuffleTuples  int64 // tuples redistributed by the reshuffling step
+	ForwardedChunks  int64 // pending buffers and stray sub-chunks re-sent
+	// ExtraBuildChunks is the paper's Figures 4/11 metric: communication
+	// beyond the direct source-to-node streaming during the table-building
+	// phase (and, for the hybrid algorithm, reshuffling), in chunk units.
+	ExtraBuildChunks float64
+	// ProbeExtraChunks is the probe-phase duplication the
+	// replication-based algorithm pays: probe tuples broadcast beyond
+	// their first copy, in chunk units.
+	ProbeExtraChunks float64
+	StrayBuildTuples int64
+
+	// Join result fingerprint.
+	Matches  uint64
+	Checksum uint64
+
+	// Per-node build-relation tuples held at probe time, and the derived
+	// load-balance figures in chunks (Figures 12-13).
+	NodeLoads     []int64
+	LoadAvgChunks float64
+	LoadMaxChunks float64
+	LoadMinChunks float64
+
+	// Out-of-core activity.
+	SpillWrittenBytes int64
+	SpillReadBytes    int64
+	BNLPasses         int64
+
+	// Transport totals (simulator only; zero on live engines).
+	WireBytes int64
+	Messages  int64
+
+	// Per-node utilisation, parallel to NodeLoads (simulator only): how
+	// much virtual time each participating join node spent computing and
+	// on its local disk.
+	NodeCPUSecs  []float64
+	NodeDiskSecs []float64
+
+	ProbeTuplesProcessed int64
+}
+
+// String renders a compact single-run summary.
+func (r *Report) String() string {
+	s := fmt.Sprintf(
+		"%s: total %.2fs (build %.2fs, reshuffle %.2fs, probe %.2fs) nodes %d->%d "+
+			"splits %d repl %d extra-build %.1f chunks probe-extra %.1f chunks "+
+			"matches %d load avg/max/min %.1f/%.1f/%.1f chunks",
+		r.Algorithm, r.TotalSec, r.BuildSec, r.ReshuffleSec, r.ProbeSec,
+		r.InitialNodes, r.FinalNodes, r.Splits, r.Replications,
+		r.ExtraBuildChunks, r.ProbeExtraChunks, r.Matches,
+		r.LoadAvgChunks, r.LoadMaxChunks, r.LoadMinChunks)
+	if r.ProbeExpansions > 0 {
+		s += fmt.Sprintf(" probe-expansions %d (output %d MB)",
+			r.ProbeExpansions, r.OutputBytes>>20)
+	}
+	return s
+}
+
+// finalizeLoads computes the load-balance summary from NodeLoads.
+func (r *Report) finalizeLoads(chunkTuples int) {
+	r.LoadAvgChunks, r.LoadMaxChunks, r.LoadMinChunks = metrics.Balance(r.NodeLoads, chunkTuples)
+}

@@ -1,0 +1,58 @@
+package core
+
+// partitionOffsets implements the hybrid algorithm's greedy heuristic
+// (§4.2.3): given the summed per-position tuple counts of a replicated hash
+// range, cut the position array into at most m contiguous sub-arrays whose
+// total counts are as equal as the position granularity allows. The
+// returned offsets are relative to the counts slice: offsets[0]=0,
+// offsets[len-1]=len(counts), and sub-array k spans
+// [offsets[k], offsets[k+1]). Every sub-array has at least one position, so
+// fewer than m sub-arrays are returned when len(counts) < m.
+func partitionOffsets(counts []int64, m int) []int {
+	w := len(counts)
+	if m > w {
+		m = w
+	}
+	if m < 1 {
+		m = 1
+	}
+	offsets := make([]int, 1, m+1)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	rem := total
+	pos := 0
+	for k := m; k >= 1; k-- {
+		if k == 1 {
+			offsets = append(offsets, w)
+			break
+		}
+		target := rem / int64(k)
+		var acc int64
+		end := pos
+		maxEnd := w - (k - 1) // leave one position for each remaining part
+		for end < maxEnd {
+			next := acc + counts[end]
+			// Stop before including a position that overshoots further
+			// than stopping here undershoots.
+			if acc > 0 && next > target && next-target > target-acc {
+				break
+			}
+			acc = next
+			end++
+			if acc >= target {
+				break
+			}
+		}
+		if end == pos {
+			// Force progress: every part owns at least one position.
+			acc = counts[pos]
+			end = pos + 1
+		}
+		offsets = append(offsets, end)
+		rem -= acc
+		pos = end
+	}
+	return offsets
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkOffsets(t *testing.T, counts []int64, m int, offsets []int) {
+	t.Helper()
+	if offsets[0] != 0 || offsets[len(offsets)-1] != len(counts) {
+		t.Fatalf("offsets %v do not cover [0,%d]", offsets, len(counts))
+	}
+	if len(offsets)-1 > m {
+		t.Fatalf("%d parts exceed requested %d", len(offsets)-1, m)
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] <= offsets[i-1] {
+			t.Fatalf("offsets %v not strictly increasing (empty part)", offsets)
+		}
+	}
+}
+
+func TestPartitionOffsetsUniform(t *testing.T) {
+	counts := make([]int64, 100)
+	for i := range counts {
+		counts[i] = 10
+	}
+	offsets := partitionOffsets(counts, 4)
+	checkOffsets(t, counts, 4, offsets)
+	for k := 0; k < 4; k++ {
+		var sum int64
+		for i := offsets[k]; i < offsets[k+1]; i++ {
+			sum += counts[i]
+		}
+		if sum != 250 {
+			t.Errorf("part %d mass %d, want 250", k, sum)
+		}
+	}
+}
+
+func TestPartitionOffsetsSkewed(t *testing.T) {
+	// All mass on one position: the hot position lands in one part; the
+	// others split what remains.
+	counts := make([]int64, 64)
+	counts[20] = 100000
+	for i := range counts {
+		counts[i]++
+	}
+	offsets := partitionOffsets(counts, 4)
+	checkOffsets(t, counts, 4, offsets)
+}
+
+func TestPartitionOffsetsFewerPositionsThanParts(t *testing.T) {
+	counts := []int64{5, 7}
+	offsets := partitionOffsets(counts, 5)
+	checkOffsets(t, counts, 5, offsets)
+	if len(offsets)-1 != 2 {
+		t.Errorf("got %d parts from 2 positions", len(offsets)-1)
+	}
+}
+
+func TestPartitionOffsetsSinglePart(t *testing.T) {
+	counts := []int64{1, 2, 3}
+	offsets := partitionOffsets(counts, 1)
+	if len(offsets) != 2 || offsets[1] != 3 {
+		t.Errorf("single-part offsets = %v", offsets)
+	}
+}
+
+func TestPartitionOffsetsZeroMass(t *testing.T) {
+	counts := make([]int64, 10)
+	offsets := partitionOffsets(counts, 3)
+	checkOffsets(t, counts, 3, offsets)
+}
+
+// TestPartitionOffsetsBalanceProperty: for random histograms, the heaviest
+// part never exceeds the ideal share by more than the largest single
+// position (the granularity bound of contiguous partitioning).
+func TestPartitionOffsetsBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 16 + rng.Intn(200)
+		m := 2 + rng.Intn(8)
+		counts := make([]int64, w)
+		var total, maxSingle int64
+		for i := range counts {
+			counts[i] = int64(rng.Intn(1000))
+			total += counts[i]
+			if counts[i] > maxSingle {
+				maxSingle = counts[i]
+			}
+		}
+		offsets := partitionOffsets(counts, m)
+		if offsets[0] != 0 || offsets[len(offsets)-1] != w || len(offsets)-1 > m {
+			return false
+		}
+		ideal := total / int64(m)
+		for k := 0; k+1 < len(offsets); k++ {
+			if offsets[k+1] <= offsets[k] {
+				return false
+			}
+			var sum int64
+			for i := offsets[k]; i < offsets[k+1]; i++ {
+				sum += counts[i]
+			}
+			if sum > ideal+maxSingle {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+)
+
+// phase tracks where the run is in its lifecycle.
+type phase uint8
+
+const (
+	phaseBuild phase = iota
+	phaseReshuffle
+	phaseProbe
+)
+
+// schedActor is the scheduler (§4.1.1): it owns the master routing table,
+// the lists of working / full / potential join nodes, the memory-full
+// protocol (splits or replications), the reshuffling step, and the phase
+// synchronisation between building and probing.
+type schedActor struct {
+	cfg Config
+	id  rt.NodeID
+
+	table    *hashfn.Table
+	splitter *hashfn.Splitter
+	phase    phase
+
+	working   []rt.NodeID
+	potential []rt.NodeID
+	fullSet   map[rt.NodeID]bool
+	// probeFullSet tracks probe-phase retirements separately: a node that
+	// retired during the build (replication) can still overflow on
+	// materialised output during the probe and deserves relief once.
+	probeFullSet map[rt.NodeID]bool
+
+	// Split-protocol state: queued overflow reports, served one split at a
+	// time under the barrier split pointer.
+	overflowQueue []rt.NodeID
+	queuedNode    map[rt.NodeID]bool
+	exhausted     bool // no potential nodes remain
+
+	// Reshuffle state: per replicated group, the accumulated counts.
+	pendingGroups map[int]*groupState // keyed by entry range low
+
+	sourcesDone int
+
+	// Stats.
+	splits          int64
+	replications    int64
+	probeExpansions int64
+	splitMoved      int64 // tuples migrated by splits (reported via splitDone)
+
+	// Collected per-node statistics (populated by the collectStats round).
+	joinStats   map[rt.NodeID]*joinStats
+	sourceStats map[rt.NodeID]*sourceStats
+}
+
+// groupState accumulates count responses for one replicated range during
+// reshuffling.
+type groupState struct {
+	rng     hashfn.Range
+	members []rt.NodeID
+	counts  []int64
+	got     int
+}
+
+func newScheduler(cfg Config, table *hashfn.Table, working, potential []rt.NodeID) *schedActor {
+	return &schedActor{
+		cfg:          cfg,
+		id:           cfg.schedulerID(),
+		table:        table,
+		splitter:     hashfn.NewSplitter(len(table.Entries)),
+		working:      working,
+		potential:    potential,
+		fullSet:      make(map[rt.NodeID]bool),
+		probeFullSet: make(map[rt.NodeID]bool),
+		queuedNode:   make(map[rt.NodeID]bool),
+	}
+}
+
+// Receive implements runtime.Actor.
+func (sc *schedActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	switch msg := m.(type) {
+	case *memFull:
+		sc.onMemFull(env, from)
+	case *splitDone:
+		sc.splitMoved += msg.MovedTuples
+		sc.splitter.Completed()
+		sc.issueSplits(env)
+	case *sourcePhaseDone:
+		sc.sourcesDone++
+	case *doReshuffle:
+		sc.phase = phaseReshuffle
+		sc.startReshuffle(env)
+	case *countResp:
+		sc.onCounts(env, from, msg)
+	case *startProbe:
+		// Injected by the orchestrator: broadcast the final routing table
+		// and move every source to the probe phase.
+		sc.phase = phaseProbe
+		sc.sourcesDone = 0
+		for i := 0; i < sc.cfg.Sources; i++ {
+			env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
+			env.Send(sc.cfg.sourceID(i), &startProbe{Table: sc.table.Clone()})
+		}
+	case *finishOOC:
+		// Injected by the orchestrator: run the OOC nodes' local
+		// out-of-core join phases.
+		for _, n := range sc.working {
+			env.Send(n, &finishOOC{})
+		}
+	case *collectStats:
+		sc.joinStats = make(map[rt.NodeID]*joinStats)
+		sc.sourceStats = make(map[rt.NodeID]*sourceStats)
+		for i := 0; i < sc.cfg.Sources; i++ {
+			env.Send(sc.cfg.sourceID(i), &statsReq{})
+		}
+		for i := 0; i < sc.cfg.MaxNodes; i++ {
+			env.Send(sc.cfg.joinID(i), &statsReq{})
+		}
+	case *joinStats:
+		sc.joinStats[from] = msg
+	case *sourceStats:
+		sc.sourceStats[from] = msg
+	}
+}
+
+// onMemFull handles a memory-overflow report according to the algorithm
+// and phase.
+func (sc *schedActor) onMemFull(env rt.Env, node rt.NodeID) {
+	if sc.cfg.Algorithm == OutOfCore {
+		return
+	}
+	if sc.phase == phaseProbe {
+		if sc.cfg.MaterializeOutput {
+			sc.probeExpand(env, node)
+		}
+		return
+	}
+	if sc.phase != phaseBuild {
+		return
+	}
+	switch sc.cfg.Algorithm {
+	case Replication, Hybrid:
+		sc.replicate(env, node)
+	case Split:
+		if sc.exhausted {
+			env.Send(node, &memFullNack{})
+			return
+		}
+		if !sc.queuedNode[node] {
+			sc.queuedNode[node] = true
+			sc.overflowQueue = append(sc.overflowQueue, node)
+		}
+		sc.issueSplits(env)
+	}
+}
+
+// pickPotential recruits the potential node with the largest available
+// memory (§4.1.1), breaking ties by id. On a homogeneous cluster this is
+// simply id order; with Config.NodeBudgets it prefers the biggest node, to
+// minimise the number of additional allocations.
+func (sc *schedActor) pickPotential() (rt.NodeID, bool) {
+	if len(sc.potential) == 0 {
+		return rt.NoNode, false
+	}
+	best := 0
+	for i := 1; i < len(sc.potential); i++ {
+		if sc.cfg.budgetOf(sc.potential[i]) > sc.cfg.budgetOf(sc.potential[best]) {
+			best = i
+		}
+	}
+	n := sc.potential[best]
+	sc.potential = append(sc.potential[:best], sc.potential[best+1:]...)
+	return n, true
+}
+
+// probeExpand implements the adaptive probe phase (§4 footnote 1): a node
+// whose materialised output has filled its memory clones its hash table to
+// a recruited node, which takes over the node's slot in the probe routing
+// for the rest of the phase.
+func (sc *schedActor) probeExpand(env rt.Env, fullNode rt.NodeID) {
+	if sc.probeFullSet[fullNode] {
+		return
+	}
+	idx, slot := sc.findOwnerSlot(fullNode)
+	if idx < 0 {
+		return
+	}
+	w, ok := sc.pickPotential()
+	if !ok {
+		env.Send(fullNode, &memFullNack{})
+		return
+	}
+	sc.probeFullSet[fullNode] = true
+	sc.working = append(sc.working, w)
+	sc.probeExpansions++
+	sc.table.Entries[idx].Owners[slot] = int32(w)
+	sc.table.Version++
+	rng := sc.table.Entries[idx].Range
+	env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
+	env.Send(w, &joinInit{Range: rng, Table: sc.table.Clone(), AwaitClone: true})
+	env.Send(fullNode, &cloneTable{To: w})
+	sc.broadcastRoute(env, fullNode, w)
+}
+
+// findOwnerSlot locates the table entry and owner position of a node.
+func (sc *schedActor) findOwnerSlot(node rt.NodeID) (int, int) {
+	for i, e := range sc.table.Entries {
+		for s, o := range e.Owners {
+			if o == int32(node) {
+				return i, s
+			}
+		}
+	}
+	return -1, -1
+}
+
+// replicate implements the replication-based expansion (§4.2.2): the full
+// node's range is replicated on a recruited node, the full node retires and
+// forwards its pending buffers.
+func (sc *schedActor) replicate(env rt.Env, fullNode rt.NodeID) {
+	if sc.fullSet[fullNode] {
+		return // duplicate report from an already-retired node
+	}
+	idx := sc.table.EntryIndexOwnedBy(int32(fullNode))
+	if idx < 0 {
+		return
+	}
+	w, ok := sc.pickPotential()
+	if !ok {
+		env.Send(fullNode, &memFullNack{})
+		return
+	}
+	sc.table.AddReplica(idx, int32(w))
+	sc.fullSet[fullNode] = true
+	sc.working = append(sc.working, w)
+	sc.replications++
+	rng := sc.table.Entries[idx].Range
+	env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
+	env.Send(w, &joinInit{Range: rng, Table: sc.table.Clone()})
+	env.Send(fullNode, &retire{ForwardTo: w, Table: sc.table.Clone()})
+	sc.broadcastRoute(env, fullNode, w)
+}
+
+// issueSplits serves queued overflow reports one split at a time under the
+// barrier split pointer (§4.2.1).
+func (sc *schedActor) issueSplits(env rt.Env) {
+	for len(sc.overflowQueue) > 0 && sc.splitter.CanIssue() {
+		idx := sc.splitter.Next(sc.table)
+		if idx < 0 {
+			sc.nackQueue(env)
+			return
+		}
+		w, ok := sc.pickPotential()
+		if !ok {
+			sc.exhausted = true
+			sc.nackQueue(env)
+			return
+		}
+		requester := sc.overflowQueue[0]
+		sc.overflowQueue = sc.overflowQueue[1:]
+		delete(sc.queuedNode, requester)
+
+		victim := rt.NodeID(sc.table.Entries[idx].BuildOwner())
+		lower, upper, err := sc.table.SplitEntry(idx, int32(w))
+		if err != nil {
+			// The entry narrowed below splittability since Next looked at
+			// it; cannot happen because Next checks width, but be safe.
+			sc.potential = append([]rt.NodeID{w}, sc.potential...)
+			return
+		}
+		sc.splitter.Issued()
+		sc.working = append(sc.working, w)
+		sc.splits++
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
+		env.Send(w, &joinInit{Range: upper, Table: sc.table.Clone()})
+		env.Send(victim, &splitOrder{Lower: lower, Upper: upper, NewNode: w, Table: sc.table.Clone()})
+		sc.broadcastRoute(env, victim, w)
+	}
+}
+
+func (sc *schedActor) nackQueue(env rt.Env) {
+	for _, n := range sc.overflowQueue {
+		delete(sc.queuedNode, n)
+		env.Send(n, &memFullNack{})
+	}
+	sc.overflowQueue = nil
+}
+
+// broadcastRoute ships the updated routing table to every data source and
+// every working join node except the ones that already received it inside
+// their protocol message.
+func (sc *schedActor) broadcastRoute(env rt.Env, except ...rt.NodeID) {
+	skip := make(map[rt.NodeID]bool, len(except))
+	for _, e := range except {
+		skip[e] = true
+	}
+	for i := 0; i < sc.cfg.Sources; i++ {
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(sc.cfg.sourceID(i), &routeUpdate{Table: sc.table.Clone()})
+	}
+	// Full nodes remain on the working list (they rejoin for the probe
+	// phase), so one pass covers everyone.
+	for _, n := range sc.working {
+		if skip[n] {
+			continue
+		}
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(n, &routeUpdate{Table: sc.table.Clone()})
+	}
+}
+
+// startReshuffle begins the hybrid algorithm's reshuffling step: collect
+// per-position counts from every member of every replicated range.
+func (sc *schedActor) startReshuffle(env rt.Env) {
+	sc.pendingGroups = make(map[int]*groupState)
+	for _, e := range sc.table.Entries {
+		if len(e.Owners) < 2 {
+			continue
+		}
+		g := &groupState{rng: e.Range, counts: make([]int64, e.Range.Width())}
+		for _, o := range e.Owners {
+			g.members = append(g.members, rt.NodeID(o))
+		}
+		sc.pendingGroups[e.Range.Lo] = g
+		for _, member := range g.members {
+			env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+			env.Send(member, &countReq{Range: e.Range})
+		}
+	}
+}
+
+// onCounts folds one member's histogram into its group's global sum; when
+// the group is complete, the range is repartitioned and the members are
+// told to redistribute.
+func (sc *schedActor) onCounts(env rt.Env, from rt.NodeID, msg *countResp) {
+	g, ok := sc.pendingGroups[msg.Range.Lo]
+	if !ok {
+		return
+	}
+	for i, c := range msg.Counts {
+		g.counts[i] += c
+	}
+	g.got++
+	if g.got < len(g.members) {
+		return
+	}
+	delete(sc.pendingGroups, msg.Range.Lo)
+	sc.finishGroup(env, g)
+}
+
+// finishGroup cuts the group's range into contiguous sub-ranges of equal
+// tuple mass, updates the master table, and instructs the members.
+func (sc *schedActor) finishGroup(env rt.Env, g *groupState) {
+	offsets := partitionOffsets(g.counts, len(g.members))
+	env.ChargeCPU(int64(len(g.counts)) * 3) // greedy pass over the histogram
+	parts := len(offsets) - 1
+	entries := make([]hashfn.Entry, parts)
+	for k := 0; k < parts; k++ {
+		entries[k] = hashfn.Entry{
+			Range:  hashfn.Range{Lo: g.rng.Lo + offsets[k], Hi: g.rng.Lo + offsets[k+1]},
+			Owners: []int32{int32(g.members[k])},
+		}
+	}
+	idx := sc.table.EntryIndexOf(g.rng.Lo)
+	if err := sc.table.ReplaceEntries(idx, entries); err != nil {
+		// Table invariants guarantee this cannot happen; losing the group
+		// would deadlock the run, so fail loudly.
+		panic("core: reshuffle produced a non-tiling partition: " + err.Error())
+	}
+	for k, member := range g.members {
+		keep := hashfn.Range{} // members beyond the partition count hold nothing
+		if k < parts {
+			keep = entries[k].Range
+		}
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(member, &reshuffleAssign{
+			Keep:         keep,
+			GroupEntries: entries,
+			Table:        sc.table.Clone(),
+		})
+		delete(sc.fullSet, member)
+	}
+	sc.broadcastRoute(env, g.members...)
+}

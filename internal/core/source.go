@@ -1,0 +1,222 @@
+package core
+
+import (
+	"ehjoin/internal/datagen"
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+)
+
+// sourceActor is one data source (§4.1.2). It generates its contiguous
+// slice of each relation on the fly, keeps a chunk buffer per join process,
+// routes tuples by their hash position through the current routing table,
+// and ships full chunks under a per-destination flow-control window
+// (modelling the bounded buffers of a real cluster transport).
+// relationGen generates one relation's tuples by index; datagen.Gen,
+// datagen.ProbeGen, and datagen.Linked all satisfy it.
+type relationGen interface {
+	At(i int64) tuple.Tuple
+}
+
+type sourceActor struct {
+	cfg   Config
+	id    rt.NodeID
+	index int // which source this is
+
+	build relationGen
+	probe relationGen
+
+	table             *hashfn.Table
+	phase             tuple.Relation // which relation is streaming
+	started, finished bool
+
+	slice datagen.Slice
+	next  int64
+
+	builders map[rt.NodeID]*tuple.Builder
+	credits  map[rt.NodeID]int
+	queue    map[rt.NodeID][]*tuple.Chunk
+	stalled  bool // generation paused on backpressure
+	doneSent bool
+
+	// stats
+	chunksSent       int64
+	probeExtraCopies int64 // probe tuples duplicated beyond their first copy
+}
+
+func newSource(cfg Config, index int, build, probe relationGen) *sourceActor {
+	return &sourceActor{
+		cfg:      cfg,
+		id:       cfg.sourceID(index),
+		index:    index,
+		build:    build,
+		probe:    probe,
+		builders: make(map[rt.NodeID]*tuple.Builder),
+		credits:  make(map[rt.NodeID]int),
+		queue:    make(map[rt.NodeID][]*tuple.Chunk),
+	}
+}
+
+// Receive implements runtime.Actor.
+func (s *sourceActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	switch msg := m.(type) {
+	case *startBuild:
+		s.beginPhase(env, tuple.RelR, msg.Table)
+	case *startProbe:
+		s.beginPhase(env, tuple.RelS, msg.Table)
+	case *genStep:
+		s.step(env)
+	case *chunkAck:
+		s.credit(env, from)
+	case *routeUpdate:
+		if s.table == nil || msg.Table.Version > s.table.Version {
+			s.table = msg.Table
+		}
+	case *statsReq:
+		env.Send(from, &sourceStats{
+			ChunksSent:       s.chunksSent,
+			ProbeExtraCopies: s.probeExtraCopies,
+		})
+	}
+}
+
+func (s *sourceActor) beginPhase(env rt.Env, rel tuple.Relation, table *hashfn.Table) {
+	if table != nil && (s.table == nil || table.Version > s.table.Version) {
+		s.table = table
+	}
+	s.phase = rel
+	s.started = true
+	s.finished = false
+	s.doneSent = false
+	s.stalled = false
+	s.builders = make(map[rt.NodeID]*tuple.Builder)
+	var n int64
+	if rel == tuple.RelR {
+		n = s.cfg.Build.Tuples
+	} else {
+		n = s.cfg.Probe.Tuples
+	}
+	s.slice = datagen.SliceFor(n, s.cfg.Sources, s.index)
+	s.next = s.slice.Lo
+	env.Send(s.id, &genStep{})
+}
+
+// step generates up to BurstChunks chunks' worth of tuples, then reschedules
+// itself (or stalls until credits return).
+func (s *sourceActor) step(env rt.Env) {
+	if !s.started || s.finished {
+		return
+	}
+	budget := int64(s.cfg.BurstChunks * s.cfg.ChunkTuples)
+	for i := int64(0); i < budget && s.next < s.slice.Hi; i++ {
+		env.ChargeCPU(s.cfg.Cost.GenNs)
+		var t tuple.Tuple
+		var layout tuple.Layout
+		if s.phase == tuple.RelR {
+			t = s.build.At(s.next)
+			layout = s.cfg.Build.Layout
+		} else {
+			t = s.probe.At(s.next)
+			layout = s.cfg.Probe.Layout
+		}
+		s.next++
+		p := s.cfg.Space.PositionOf(t.Key)
+		if s.phase == tuple.RelR {
+			s.route(env, rt.NodeID(s.table.BuildOwnerOf(p)), t, layout)
+		} else {
+			owners := s.table.ProbeOwnersOf(p)
+			for _, o := range owners {
+				s.route(env, rt.NodeID(o), t, layout)
+			}
+			s.probeExtraCopies += int64(len(owners) - 1)
+		}
+	}
+	if s.next >= s.slice.Hi {
+		s.finished = true
+		for _, dest := range sortedNodeIDs(s.builders) {
+			if c := s.builders[dest].Flush(); c != nil {
+				s.enqueue(env, dest, c)
+			}
+		}
+		s.maybeDone(env)
+		return
+	}
+	if s.backpressured() {
+		s.stalled = true
+		return
+	}
+	env.Send(s.id, &genStep{})
+}
+
+// backpressured reports whether any destination has accumulated a queue of
+// undeliverable chunks, in which case the source pauses generation — the
+// bounded-buffer behaviour of a real data source.
+func (s *sourceActor) backpressured() bool {
+	for _, q := range s.queue {
+		if len(q) >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sourceActor) route(env rt.Env, dest rt.NodeID, t tuple.Tuple, layout tuple.Layout) {
+	b := s.builders[dest]
+	if b == nil {
+		b = tuple.NewBuilder(s.phase, layout, s.cfg.ChunkTuples)
+		s.builders[dest] = b
+	}
+	if c := b.Add(t); c != nil {
+		s.enqueue(env, dest, c)
+	}
+}
+
+func (s *sourceActor) enqueue(env rt.Env, dest rt.NodeID, c *tuple.Chunk) {
+	s.queue[dest] = append(s.queue[dest], c)
+	s.trySend(env, dest)
+}
+
+func (s *sourceActor) trySend(env rt.Env, dest rt.NodeID) {
+	cr, ok := s.credits[dest]
+	if !ok {
+		cr = s.cfg.CreditWindow
+	}
+	for cr > 0 && len(s.queue[dest]) > 0 {
+		c := s.queue[dest][0]
+		s.queue[dest] = s.queue[dest][1:]
+		cr--
+		env.ChargeCPU(s.cfg.Cost.ChunkOverheadNs)
+		env.Send(dest, &dataChunk{Chunk: c, Origin: s.id})
+		s.chunksSent++
+	}
+	s.credits[dest] = cr
+	if len(s.queue[dest]) == 0 {
+		delete(s.queue, dest)
+	}
+}
+
+func (s *sourceActor) credit(env rt.Env, dest rt.NodeID) {
+	if _, ok := s.credits[dest]; !ok {
+		s.credits[dest] = s.cfg.CreditWindow
+	}
+	s.credits[dest]++
+	s.trySend(env, dest)
+	if s.stalled && !s.backpressured() && !s.finished {
+		s.stalled = false
+		env.Send(s.id, &genStep{})
+	}
+	s.maybeDone(env)
+}
+
+// maybeDone notifies the scheduler once the slice is fully generated and
+// every buffered chunk has been shipped.
+func (s *sourceActor) maybeDone(env rt.Env) {
+	if !s.finished || s.doneSent {
+		return
+	}
+	if len(s.queue) > 0 {
+		return
+	}
+	s.doneSent = true
+	env.Send(s.cfg.schedulerID(), &sourcePhaseDone{Rel: s.phase, Chunks: s.chunksSent})
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"sort"
+
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+)
+
+// sortedNodeIDs returns the keys of a per-destination builder map in
+// ascending order, keeping message emission deterministic (map iteration
+// order would otherwise perturb the simulation).
+func sortedNodeIDs(m map[rt.NodeID]*tuple.Builder) []rt.NodeID {
+	out := make([]rt.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

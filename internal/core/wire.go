@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	rt "ehjoin/internal/runtime"
+)
+
+// init registers every protocol message with gob so the TCP transport can
+// ship them between processes as runtime.Message interface values.
+func init() {
+	gob.Register(&startBuild{})
+	gob.Register(&genStep{})
+	gob.Register(&dataChunk{})
+	gob.Register(&chunkAck{})
+	gob.Register(&sourcePhaseDone{})
+	gob.Register(&memFull{})
+	gob.Register(&memFullNack{})
+	gob.Register(&joinInit{})
+	gob.Register(&splitOrder{})
+	gob.Register(&splitDone{})
+	gob.Register(&retire{})
+	gob.Register(&routeUpdate{})
+	gob.Register(&moveTuples{})
+	gob.Register(&cloneTable{})
+	gob.Register(&cloneTuples{})
+	gob.Register(&cloneEnd{})
+	gob.Register(&doReshuffle{})
+	gob.Register(&countReq{})
+	gob.Register(&countResp{})
+	gob.Register(&reshuffleAssign{})
+	gob.Register(&startProbe{})
+	gob.Register(&finishOOC{})
+	gob.Register(&collectStats{})
+	gob.Register(&setForward{})
+	gob.Register(&statsReq{})
+	gob.Register(&joinStats{})
+	gob.Register(&sourceStats{})
+}
+
+// EncodeConfig serialises a Config for shipping to worker processes.
+func EncodeConfig(cfg Config) ([]byte, error) {
+	n, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(n); err != nil {
+		return nil, fmt.Errorf("core: encode config: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeConfig is the inverse of EncodeConfig.
+func DecodeConfig(blob []byte) (Config, error) {
+	var cfg Config
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("core: decode config: %w", err)
+	}
+	return cfg, nil
+}
+
+// JoinNodeIDs returns the node ids of every join node in the configured
+// environment; these are the ids a coordinator may assign to worker
+// processes (the scheduler and data sources always run in the
+// coordinator).
+func JoinNodeIDs(cfg Config) ([]rt.NodeID, error) {
+	n, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rt.NodeID, n.MaxNodes)
+	for i := range out {
+		out[i] = n.joinID(i)
+	}
+	return out, nil
+}
+
+// NewJoinActor constructs the join-process actor for the given node id, for
+// use by worker processes hosting remote join nodes.
+func NewJoinActor(cfg Config, id rt.NodeID) (rt.Actor, error) {
+	n, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if !n.isJoinNode(id) {
+		return nil, fmt.Errorf("core: node %d is not a join node", id)
+	}
+	return newJoin(n, id), nil
+}
+
+// EncodeMultiConfig serialises a MultiConfig for shipping to worker
+// processes hosting pipeline join nodes.
+func EncodeMultiConfig(mc MultiConfig) ([]byte, error) {
+	if _, err := mc.stageConfigs(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(mc); err != nil {
+		return nil, fmt.Errorf("core: encode multi config: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMultiConfig is the inverse of EncodeMultiConfig.
+func DecodeMultiConfig(blob []byte) (MultiConfig, error) {
+	var mc MultiConfig
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&mc); err != nil {
+		return MultiConfig{}, fmt.Errorf("core: decode multi config: %w", err)
+	}
+	return mc, nil
+}
+
+// MultiJoinNodeIDs returns the node ids of every join node across every
+// pipeline stage — the ids a coordinator may assign to worker processes.
+func MultiJoinNodeIDs(mc MultiConfig) ([]rt.NodeID, error) {
+	cfgs, err := mc.stageConfigs()
+	if err != nil {
+		return nil, err
+	}
+	var out []rt.NodeID
+	for _, cfg := range cfgs {
+		for i := 0; i < cfg.MaxNodes; i++ {
+			out = append(out, cfg.joinID(i))
+		}
+	}
+	return out, nil
+}
+
+// NewMultiJoinActor constructs the join actor for a pipeline node id,
+// resolving which stage the id belongs to.
+func NewMultiJoinActor(mc MultiConfig, id rt.NodeID) (rt.Actor, error) {
+	cfgs, err := mc.stageConfigs()
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range cfgs {
+		if cfg.isJoinNode(id) {
+			return newJoin(cfg, id), nil
+		}
+	}
+	return nil, fmt.Errorf("core: node %d is not a pipeline join node", id)
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := testConfig(Hybrid)
+	blob, err := EncodeConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeConfig(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := cfg.normalized()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed config:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeConfigValidates(t *testing.T) {
+	if _, err := EncodeConfig(Config{}); err == nil {
+		t.Error("invalid config encoded")
+	}
+	if _, err := DecodeConfig([]byte("junk")); err == nil {
+		t.Error("junk decoded")
+	}
+}
+
+// TestMessageGobRoundTrip ships every message kind through gob as an
+// interface value, the way the TCP transport does.
+func TestMessageGobRoundTrip(t *testing.T) {
+	table, err := hashfn.NewTable(hashfn.DefaultSpace(), []int32{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := &tuple.Chunk{Rel: tuple.RelR, Layout: tuple.DefaultLayout(),
+		Tuples: []tuple.Tuple{{Index: 1, Key: 2}, {Index: 3, Key: 4}}}
+
+	msgs := []rt.Message{
+		&startBuild{Table: table},
+		&genStep{},
+		&dataChunk{Chunk: chunk, Origin: 3, Forwarded: true},
+		&chunkAck{Rel: tuple.RelS},
+		&sourcePhaseDone{Rel: tuple.RelR, Chunks: 7},
+		&memFull{Bytes: 99},
+		&memFullNack{},
+		&joinInit{Range: hashfn.Range{Lo: 1, Hi: 9}, Table: table},
+		&splitOrder{Lower: hashfn.Range{Lo: 1, Hi: 5}, Upper: hashfn.Range{Lo: 5, Hi: 9}, NewNode: 4, Table: table},
+		&splitDone{MovedTuples: 11},
+		&retire{ForwardTo: 8, Table: table},
+		&routeUpdate{Table: table},
+		&moveTuples{Chunk: chunk},
+		&doReshuffle{},
+		&countReq{Range: hashfn.Range{Lo: 0, Hi: 4}},
+		&countResp{Range: hashfn.Range{Lo: 0, Hi: 4}, Counts: []int64{1, 2, 3, 4}},
+		&reshuffleAssign{Keep: hashfn.Range{Lo: 0, Hi: 2}, GroupEntries: table.Entries, Table: table},
+		&startProbe{Table: table},
+		&finishOOC{},
+		&setForward{NextTable: table, NextSeed: 42, Layout: tuple.DefaultLayout()},
+		&collectStats{},
+		&statsReq{},
+		&joinStats{Active: true, Stored: 5, Matches: 6, Checksum: 7, Forwarded: 8},
+		&sourceStats{ChunksSent: 9, ProbeExtraCopies: 10},
+	}
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		holder := struct{ M rt.Message }{M: m}
+		if err := gob.NewEncoder(&buf).Encode(&holder); err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		var back struct{ M rt.Message }
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if back.M == nil {
+			t.Fatalf("%T: decoded nil", m)
+		}
+		if back.M.WireSize() != m.WireSize() {
+			t.Errorf("%T: wire size changed %d -> %d", m, m.WireSize(), back.M.WireSize())
+		}
+	}
+	// Spot-check payload fidelity on a chunk-bearing message.
+	var buf bytes.Buffer
+	holder := struct{ M rt.Message }{M: &dataChunk{Chunk: chunk, Origin: 3}}
+	if err := gob.NewEncoder(&buf).Encode(&holder); err != nil {
+		t.Fatal(err)
+	}
+	var back struct{ M rt.Message }
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	dc := back.M.(*dataChunk)
+	if len(dc.Chunk.Tuples) != 2 || dc.Chunk.Tuples[1].Key != 4 || dc.Origin != 3 {
+		t.Errorf("chunk payload corrupted: %+v", dc)
+	}
+}
+
+func TestJoinNodeIDsAndFactory(t *testing.T) {
+	cfg := testConfig(Split)
+	ids, err := JoinNodeIDs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := cfg.normalized()
+	if len(ids) != n.MaxNodes {
+		t.Fatalf("ids = %v", ids)
+	}
+	for _, id := range ids {
+		a, err := NewJoinActor(cfg, id)
+		if err != nil {
+			t.Fatalf("actor for %d: %v", id, err)
+		}
+		if a == nil {
+			t.Fatalf("nil actor for %d", id)
+		}
+	}
+	if _, err := NewJoinActor(cfg, n.schedulerID()); err == nil {
+		t.Error("scheduler id accepted as join node")
+	}
+	if _, err := NewJoinActor(cfg, n.sourceID(0)); err == nil {
+		t.Error("source id accepted as join node")
+	}
+	if _, err := JoinNodeIDs(Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestProbeConservationDetectsLoss exercises the invariant checking in
+// assembleReport by corrupting collected statistics.
+func TestStatsValidation(t *testing.T) {
+	cfg := testConfig(Split)
+	n, _ := cfg.normalized()
+	table, _ := hashfn.NewTable(n.Space, []int32{int32(n.joinID(0))})
+	sched := newScheduler(n, table, []rt.NodeID{n.joinID(0)}, nil)
+	// Incomplete stats must be rejected.
+	sched.joinStats = map[rt.NodeID]*joinStats{}
+	sched.sourceStats = map[rt.NodeID]*sourceStats{}
+	if _, err := assembleReport(n, nil, sched, 1, 1, 2); err == nil {
+		t.Error("incomplete stats accepted")
+	}
+}

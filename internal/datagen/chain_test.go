@@ -1,0 +1,103 @@
+package datagen
+
+import "testing"
+
+func TestChainKeyDeterministic(t *testing.T) {
+	g := mustGen(t, Spec{Dist: Uniform, Tuples: 100, Seed: 9})
+	for i := int64(0); i < 100; i++ {
+		if g.ChainKeyAt(i) != ChainKeyAt(9, i) {
+			t.Fatalf("method and function chain keys diverge at %d", i)
+		}
+	}
+	// Chain keys must not collide with primary keys systematically.
+	same := 0
+	for i := int64(0); i < 100; i++ {
+		if g.ChainKeyAt(i) == g.KeyAt(i) {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("%d/100 chain keys equal primary keys", same)
+	}
+}
+
+func TestLinkedRefPrimary(t *testing.T) {
+	up := Spec{Dist: Uniform, Tuples: 300, Seed: 21}
+	upGen := mustGen(t, up)
+	upKeys := map[uint64]bool{}
+	for i := int64(0); i < up.Tuples; i++ {
+		upKeys[upGen.KeyAt(i)] = true
+	}
+	l, err := NewLinked(Spec{Dist: Uniform, Tuples: 1000, Seed: 22}, up, 1.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if !upKeys[l.KeyAt(i)] {
+			t.Fatalf("linked tuple %d does not reference an upstream primary key", i)
+		}
+	}
+}
+
+func TestLinkedRefChain(t *testing.T) {
+	up := Spec{Dist: Uniform, Tuples: 300, Seed: 31}
+	chainKeys := map[uint64]bool{}
+	for i := int64(0); i < up.Tuples; i++ {
+		chainKeys[ChainKeyAt(up.Seed, i)] = true
+	}
+	l, err := NewLinked(Spec{Dist: Uniform, Tuples: 1000, Seed: 32}, up, 1.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if !chainKeys[l.KeyAt(i)] {
+			t.Fatalf("linked tuple %d does not reference an upstream chain key", i)
+		}
+	}
+}
+
+func TestLinkedFractionZero(t *testing.T) {
+	up := Spec{Dist: Uniform, Tuples: 300, Seed: 41}
+	spec := Spec{Dist: Uniform, Tuples: 200, Seed: 42}
+	l, err := NewLinked(spec, up, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := mustGen(t, spec)
+	for i := int64(0); i < 200; i++ {
+		if l.KeyAt(i) != own.KeyAt(i) {
+			t.Fatal("q=0 linked relation should generate from its own spec")
+		}
+	}
+	if l.Spec() != spec {
+		t.Error("Spec not retained")
+	}
+}
+
+func TestLinkedValidation(t *testing.T) {
+	good := Spec{Dist: Uniform, Tuples: 10, Seed: 1}
+	if _, err := NewLinked(Spec{}, good, 0.5, false); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := NewLinked(good, Spec{}, 0.5, false); err == nil {
+		t.Error("invalid upstream accepted")
+	}
+	if _, err := NewLinked(good, good, 1.5, false); err == nil {
+		t.Error("bad fraction accepted")
+	}
+}
+
+func TestLinkedAtCarriesIndex(t *testing.T) {
+	up := Spec{Dist: Uniform, Tuples: 10, Seed: 1}
+	l, err := NewLinked(Spec{Dist: Uniform, Tuples: 10, Seed: 2}, up, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := l.At(4)
+	if tp.Index != 4 || tp.Key != l.KeyAt(4) {
+		t.Errorf("At(4) = %+v", tp)
+	}
+	if l.ChainKeyAt(4) != ChainKeyAt(2, 4) {
+		t.Error("linked chain key mismatch")
+	}
+}

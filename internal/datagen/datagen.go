@@ -1,0 +1,193 @@
+// Package datagen produces the synthetic relations used in the paper's
+// evaluation (§5, "Data Generation"): tuples with a 64-bit index, a 64-bit
+// join attribute drawn from either a Uniform or a Gaussian distribution
+// (user-specified mean and standard deviation; the Gaussian models data
+// skew), and an n-byte payload.
+//
+// Generation is counter-based and deterministic: tuple i of a relation is a
+// pure function of (seed, i). This mirrors the paper's setup, where the
+// relations are "generated on-the-fly on multiple nodes as the join
+// operation progressed" — any data source can generate any contiguous slice
+// of a relation without coordination, and the probe relation can
+// deterministically reference build-relation keys so join output is exactly
+// verifiable.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"ehjoin/internal/tuple"
+)
+
+// Dist selects the join-attribute value distribution.
+type Dist uint8
+
+const (
+	// Uniform draws join attributes uniformly over the full 64-bit domain.
+	Uniform Dist = iota
+	// Gaussian draws join attributes from a normal distribution over the
+	// unit interval (scaled to 64 bits), clamped at the domain edges. The
+	// paper uses sigma = 0.001 for moderate and 0.0001 for extreme skew.
+	Gaussian
+)
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("Dist(%d)", uint8(d))
+	}
+}
+
+// Spec describes one relation.
+type Spec struct {
+	Dist   Dist
+	Mean   float64 // Gaussian mean in [0,1); the paper's experiments centre the distribution
+	Sigma  float64 // Gaussian standard deviation in unit-interval terms
+	Tuples int64   // relation cardinality
+	Seed   uint64  // generation seed; relations with equal seeds and specs are identical
+	Layout tuple.Layout
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Tuples <= 0 {
+		return fmt.Errorf("datagen: relation needs at least one tuple, got %d", s.Tuples)
+	}
+	if s.Dist == Gaussian {
+		if s.Mean < 0 || s.Mean >= 1 {
+			return fmt.Errorf("datagen: gaussian mean %v outside [0,1)", s.Mean)
+		}
+		if s.Sigma <= 0 {
+			return fmt.Errorf("datagen: gaussian sigma %v must be positive", s.Sigma)
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective 64-bit mixer
+// with excellent avalanche behaviour, suitable as a counter-based PRNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unit converts a 64-bit random word to a float in [0,1).
+func unit(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}
+
+// maxUnit is the largest representable value strictly below 1.0 used when
+// clamping Gaussian samples to the key domain.
+const maxUnit = 1 - 1.0/(1<<53)
+
+// Gen generates one relation deterministically.
+type Gen struct {
+	spec Spec
+}
+
+// New returns a generator for the relation described by spec.
+func New(spec Spec) (*Gen, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Gen{spec: spec}, nil
+}
+
+// Spec returns the generator's relation description.
+func (g *Gen) Spec() Spec { return g.spec }
+
+// KeyAt returns the join attribute of tuple i.
+func (g *Gen) KeyAt(i int64) uint64 {
+	switch g.spec.Dist {
+	case Gaussian:
+		u1 := unit(splitmix64(g.spec.Seed ^ uint64(2*i)*0xD1B54A32D192ED03))
+		u2 := unit(splitmix64(g.spec.Seed ^ uint64(2*i+1)*0x8CB92BA72F3D8DD7))
+		if u1 < 1e-300 {
+			u1 = 1e-300
+		}
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		v := g.spec.Mean + g.spec.Sigma*z
+		if v < 0 {
+			v = 0
+		} else if v > maxUnit {
+			v = maxUnit
+		}
+		return uint64(v * float64(1<<32) * float64(1<<32))
+	default: // Uniform
+		return splitmix64(g.spec.Seed ^ uint64(i)*0x9E3779B97F4A7C15)
+	}
+}
+
+// At returns tuple i of the relation.
+func (g *Gen) At(i int64) tuple.Tuple {
+	return tuple.Tuple{Index: uint64(i), Key: g.KeyAt(i)}
+}
+
+// ProbeGen generates the probe relation. With MatchFraction q, tuple i of S
+// takes its join attribute from a pseudorandomly chosen build tuple with
+// probability q and from S's own distribution otherwise. q=1 yields a
+// foreign-key-style workload in which every probe tuple has at least one
+// build match; q=0 reproduces the paper's fully independent generation.
+type ProbeGen struct {
+	spec          Spec
+	build         *Gen
+	matchFraction float64
+}
+
+// NewProbe returns a probe-relation generator referencing build.
+func NewProbe(spec Spec, build *Gen, matchFraction float64) (*ProbeGen, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if matchFraction < 0 || matchFraction > 1 {
+		return nil, fmt.Errorf("datagen: match fraction %v outside [0,1]", matchFraction)
+	}
+	if matchFraction > 0 && build == nil {
+		return nil, fmt.Errorf("datagen: match fraction %v requires a build generator", matchFraction)
+	}
+	return &ProbeGen{spec: spec, build: build, matchFraction: matchFraction}, nil
+}
+
+// Spec returns the probe relation description.
+func (p *ProbeGen) Spec() Spec { return p.spec }
+
+// KeyAt returns the join attribute of probe tuple i.
+func (p *ProbeGen) KeyAt(i int64) uint64 {
+	if p.matchFraction > 0 {
+		coin := unit(splitmix64(p.spec.Seed ^ 0x4D61746368 ^ uint64(i)*0xA24BAED4963EE407))
+		if coin < p.matchFraction {
+			j := int64(splitmix64(p.spec.Seed^0x5265664B6579^uint64(i)*0x9FB21C651E98DF25) % uint64(p.build.spec.Tuples))
+			return p.build.KeyAt(j)
+		}
+	}
+	own := Gen{spec: p.spec}
+	return own.KeyAt(i)
+}
+
+// At returns probe tuple i.
+func (p *ProbeGen) At(i int64) tuple.Tuple {
+	return tuple.Tuple{Index: uint64(i), Key: p.KeyAt(i)}
+}
+
+// Slice describes the contiguous block of a relation generated by one data
+// source: indices [Lo, Hi).
+type Slice struct {
+	Lo, Hi int64
+}
+
+// SliceFor partitions n tuples across numSources sources and returns the
+// block for source s. Blocks are contiguous and cover the relation exactly.
+func SliceFor(n int64, numSources, s int) Slice {
+	return Slice{
+		Lo: int64(s) * n / int64(numSources),
+		Hi: int64(s+1) * n / int64(numSources),
+	}
+}

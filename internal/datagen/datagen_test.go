@@ -1,0 +1,231 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ehjoin/internal/tuple"
+)
+
+func mustGen(t *testing.T, s Spec) *Gen {
+	t.Helper()
+	g, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{Dist: Uniform, Tuples: 1},
+		{Dist: Gaussian, Mean: 0.5, Sigma: 0.001, Tuples: 10},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%+v: %v", s, err)
+		}
+	}
+	bad := []Spec{
+		{Dist: Uniform, Tuples: 0},
+		{Dist: Gaussian, Mean: 1.5, Sigma: 0.1, Tuples: 5},
+		{Dist: Gaussian, Mean: 0.5, Sigma: 0, Tuples: 5},
+		{Dist: Gaussian, Mean: -0.1, Sigma: 0.1, Tuples: 5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, spec := range []Spec{
+		{Dist: Uniform, Tuples: 1000, Seed: 42},
+		{Dist: Gaussian, Mean: 0.5, Sigma: 0.001, Tuples: 1000, Seed: 42},
+	} {
+		a := mustGen(t, spec)
+		b := mustGen(t, spec)
+		for i := int64(0); i < spec.Tuples; i++ {
+			if a.KeyAt(i) != b.KeyAt(i) {
+				t.Fatalf("%v: key %d differs between identical generators", spec.Dist, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := mustGen(t, Spec{Dist: Uniform, Tuples: 100, Seed: 1})
+	b := mustGen(t, Spec{Dist: Uniform, Tuples: 100, Seed: 2})
+	same := 0
+	for i := int64(0); i < 100; i++ {
+		if a.KeyAt(i) == b.KeyAt(i) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 keys collide across seeds", same)
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	g := mustGen(t, Spec{Dist: Uniform, Tuples: 100000, Seed: 7})
+	// Bucket keys into 16 top-level bins; each should hold roughly 1/16.
+	var bins [16]int
+	for i := int64(0); i < 100000; i++ {
+		bins[g.KeyAt(i)>>60]++
+	}
+	for b, n := range bins {
+		if n < 5000 || n > 7500 {
+			t.Errorf("bin %d holds %d of 100000, far from uniform", b, n)
+		}
+	}
+}
+
+func TestGaussianConcentration(t *testing.T) {
+	spec := Spec{Dist: Gaussian, Mean: 0.5, Sigma: 0.0001, Tuples: 50000, Seed: 3}
+	g := mustGen(t, spec)
+	inside := 0
+	var sum float64
+	for i := int64(0); i < spec.Tuples; i++ {
+		v := float64(g.KeyAt(i)) / math.Pow(2, 64)
+		sum += v
+		if math.Abs(v-0.5) < 5*spec.Sigma {
+			inside++
+		}
+	}
+	if frac := float64(inside) / float64(spec.Tuples); frac < 0.999 {
+		t.Errorf("only %.4f of samples within 5 sigma", frac)
+	}
+	if mean := sum / float64(spec.Tuples); math.Abs(mean-0.5) > 0.001 {
+		t.Errorf("sample mean %.5f, want ~0.5", mean)
+	}
+}
+
+func TestGaussianClampsToDomain(t *testing.T) {
+	// A huge sigma forces many samples outside [0,1); all must clamp.
+	spec := Spec{Dist: Gaussian, Mean: 0.5, Sigma: 10, Tuples: 2000, Seed: 9}
+	g := mustGen(t, spec)
+	low, high := 0, 0
+	for i := int64(0); i < spec.Tuples; i++ {
+		k := g.KeyAt(i)
+		if k == 0 {
+			low++
+		}
+		if k == ^uint64(0) {
+			t.Fatalf("key overflowed the domain at %d", i)
+		}
+		if k > uint64(maxUnit*math.Pow(2, 64))+1<<12 {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("clamping never hit the edges (low=%d high=%d)", low, high)
+	}
+}
+
+func TestProbeMatchFractionOne(t *testing.T) {
+	build := mustGen(t, Spec{Dist: Uniform, Tuples: 500, Seed: 11})
+	rKeys := make(map[uint64]bool)
+	for i := int64(0); i < 500; i++ {
+		rKeys[build.KeyAt(i)] = true
+	}
+	p, err := NewProbe(Spec{Dist: Uniform, Tuples: 2000, Seed: 12}, build, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2000; i++ {
+		if !rKeys[p.KeyAt(i)] {
+			t.Fatalf("probe tuple %d key not drawn from build relation", i)
+		}
+	}
+}
+
+func TestProbeMatchFractionZeroIsIndependent(t *testing.T) {
+	build := mustGen(t, Spec{Dist: Uniform, Tuples: 500, Seed: 11})
+	p, err := NewProbe(Spec{Dist: Uniform, Tuples: 500, Seed: 11}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With q=0 and the same spec, the probe relation equals a plain
+	// generator's output.
+	plain := mustGen(t, Spec{Dist: Uniform, Tuples: 500, Seed: 11})
+	for i := int64(0); i < 500; i++ {
+		if p.KeyAt(i) != plain.KeyAt(i) {
+			t.Fatal("q=0 probe should generate from its own spec")
+		}
+	}
+	_ = build
+}
+
+func TestProbeMatchFractionMid(t *testing.T) {
+	build := mustGen(t, Spec{Dist: Uniform, Tuples: 1000, Seed: 21})
+	rKeys := make(map[uint64]bool)
+	for i := int64(0); i < 1000; i++ {
+		rKeys[build.KeyAt(i)] = true
+	}
+	p, err := NewProbe(Spec{Dist: Uniform, Tuples: 10000, Seed: 22}, build, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for i := int64(0); i < 10000; i++ {
+		if rKeys[p.KeyAt(i)] {
+			matched++
+		}
+	}
+	if matched < 4500 || matched > 5500 {
+		t.Errorf("matched %d of 10000 with q=0.5", matched)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	build := mustGen(t, Spec{Dist: Uniform, Tuples: 10, Seed: 1})
+	if _, err := NewProbe(Spec{Dist: Uniform, Tuples: 10}, build, 1.5); err == nil {
+		t.Error("match fraction > 1 accepted")
+	}
+	if _, err := NewProbe(Spec{Dist: Uniform, Tuples: 10}, nil, 0.5); err == nil {
+		t.Error("match fraction without build generator accepted")
+	}
+	if _, err := NewProbe(Spec{Dist: Uniform, Tuples: 0}, build, 0); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestSliceForCoversRelation(t *testing.T) {
+	f := func(nRaw uint32, srcRaw uint8) bool {
+		n := int64(nRaw%100000) + 1
+		numSources := int(srcRaw%16) + 1
+		var covered int64
+		prevHi := int64(0)
+		for s := 0; s < numSources; s++ {
+			sl := SliceFor(n, numSources, s)
+			if sl.Lo != prevHi {
+				return false
+			}
+			covered += sl.Hi - sl.Lo
+			prevHi = sl.Hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtCarriesIndex(t *testing.T) {
+	g := mustGen(t, Spec{Dist: Uniform, Tuples: 10, Seed: 5, Layout: tuple.DefaultLayout()})
+	tp := g.At(7)
+	if tp.Index != 7 || tp.Key != g.KeyAt(7) {
+		t.Errorf("At(7) = %+v", tp)
+	}
+	p, err := NewProbe(Spec{Dist: Uniform, Tuples: 10, Seed: 6}, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := p.At(3)
+	if pt.Index != 3 || pt.Key != p.KeyAt(3) {
+		t.Errorf("probe At(3) = %+v", pt)
+	}
+}

@@ -1,0 +1,277 @@
+package expt
+
+import (
+	"fmt"
+
+	"ehjoin/internal/core"
+	"ehjoin/internal/datagen"
+)
+
+// Workload constants from the paper's evaluation (§5): 10M-tuple relations,
+// 100-byte tuples, uniform distribution unless a figure varies them.
+const (
+	defaultTuples    = 10_000_000
+	defaultTupleSize = 100
+)
+
+var initialNodeSweep = []int{1, 2, 4, 8, 16}
+
+// sweepInitialNodes runs all four algorithms over the initial-node sweep of
+// Figures 2-5 and extracts one value per run.
+func (s *Session) sweepInitialNodes(fig, title, unit string, algs []core.Algorithm,
+	names []string, extract func(*core.Report) float64) (*Table, error) {
+
+	t := &Table{
+		Figure: fig, Title: title, XLabel: "Initial Join Nodes", Unit: unit,
+		// Copy: callers append reference series to t.Series, which must
+		// not alias the shared algNames backing array.
+		Series: append([]string(nil), names...),
+	}
+	for _, j := range initialNodeSweep {
+		row := make([]float64, len(algs))
+		for i, alg := range algs {
+			r, err := s.run(workload{
+				alg: alg, initial: j,
+				rTuples: defaultTuples, sTuples: defaultTuples,
+				tupleSize: defaultTupleSize, dist: datagen.Uniform,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = extract(r)
+		}
+		t.XValues = append(t.XValues, fmt.Sprintf("%d", j))
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// figure2 — total execution time vs initial join nodes (uniform, R=S=10M).
+func figure2(s *Session) (*Table, error) {
+	return s.sweepInitialNodes("Figure 2", "Total execution time vs initial join nodes",
+		"seconds", algSeries, algNames, func(r *core.Report) float64 { return r.TotalSec })
+}
+
+// figure3 — table building time for the same sweep.
+func figure3(s *Session) (*Table, error) {
+	return s.sweepInitialNodes("Figure 3", "Hash table building time vs initial join nodes",
+		"seconds", algSeries, algNames, buildSec)
+}
+
+// figure4 — extra communication in the table building phase (chunks), with
+// the size of R as the reference series.
+func figure4(s *Session) (*Table, error) {
+	t, err := s.sweepInitialNodes("Figure 4", "Extra communication in the building phase",
+		"chunks", algSeries[:3], algNames[:3],
+		func(r *core.Report) float64 { return r.ExtraBuildChunks })
+	if err != nil {
+		return nil, err
+	}
+	t.Series = append(t.Series, "Size of Table R")
+	for i := range t.Cells {
+		t.Cells[i] = append(t.Cells[i], s.rChunks(defaultTuples))
+	}
+	return t, nil
+}
+
+// figure5 — split time (split-based) vs reshuffle time (hybrid).
+func figure5(s *Session) (*Table, error) {
+	t := &Table{
+		Figure: "Figure 5", Title: "Split time and reshuffle time comparison",
+		XLabel: "Initial Join Nodes", Unit: "seconds",
+		Series: []string{"Split time", "Reshuffle time"},
+	}
+	for _, j := range initialNodeSweep {
+		split, err := s.run(workload{alg: core.Split, initial: j,
+			rTuples: defaultTuples, sTuples: defaultTuples,
+			tupleSize: defaultTupleSize, dist: datagen.Uniform})
+		if err != nil {
+			return nil, err
+		}
+		hybrid, err := s.run(workload{alg: core.Hybrid, initial: j,
+			rTuples: defaultTuples, sTuples: defaultTuples,
+			tupleSize: defaultTupleSize, dist: datagen.Uniform})
+		if err != nil {
+			return nil, err
+		}
+		t.XValues = append(t.XValues, fmt.Sprintf("%d", j))
+		t.Cells = append(t.Cells, []float64{split.SplitOpSec, hybrid.ReshuffleSec})
+	}
+	return t, nil
+}
+
+// figure6 — total execution time vs relation size (J=4, R=S).
+func figure6(s *Session) (*Table, error) {
+	t := &Table{
+		Figure: "Figure 6", Title: "Total execution time vs relation size (4 initial nodes)",
+		XLabel: "Table Size", Unit: "seconds", Series: algNames,
+	}
+	for _, m := range []int64{10, 20, 40, 80} {
+		row := make([]float64, len(algSeries))
+		for i, alg := range algSeries {
+			r, err := s.run(workload{alg: alg, initial: 4,
+				rTuples: m * 1_000_000, sTuples: m * 1_000_000,
+				tupleSize: defaultTupleSize, dist: datagen.Uniform})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = r.TotalSec
+		}
+		t.XValues = append(t.XValues, fmt.Sprintf("%dM", m))
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// figure7 — total execution time vs tuple size (J=4, 10M tuples).
+func figure7(s *Session) (*Table, error) {
+	t := &Table{
+		Figure: "Figure 7", Title: "Total execution time vs tuple size (4 initial nodes)",
+		XLabel: "Tuple Size", Unit: "seconds", Series: algNames,
+	}
+	for _, size := range []int{100, 200, 400} {
+		row := make([]float64, len(algSeries))
+		for i, alg := range algSeries {
+			r, err := s.run(workload{alg: alg, initial: 4,
+				rTuples: defaultTuples, sTuples: defaultTuples,
+				tupleSize: size, dist: datagen.Uniform})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = r.TotalSec
+		}
+		t.XValues = append(t.XValues, fmt.Sprintf("%dByte", size))
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// asymmetric runs the Figures 8-9 workloads: the hash table is built from
+// the larger relation in the second configuration.
+func (s *Session) asymmetric(fig, title string, extract func(*core.Report) float64) (*Table, error) {
+	t := &Table{
+		Figure: fig, Title: title, XLabel: "Configuration", Unit: "seconds", Series: algNames,
+	}
+	cases := []struct {
+		label   string
+		r, sTup int64
+	}{
+		{"R=10M, S=100M", 10_000_000, 100_000_000},
+		{"R=100M, S=10M", 100_000_000, 10_000_000},
+	}
+	for _, c := range cases {
+		row := make([]float64, len(algSeries))
+		for i, alg := range algSeries {
+			r, err := s.run(workload{alg: alg, initial: 4,
+				rTuples: c.r, sTuples: c.sTup,
+				tupleSize: defaultTupleSize, dist: datagen.Uniform})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = extract(r)
+		}
+		t.XValues = append(t.XValues, c.label)
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// figure8 — total execution time when the larger relation builds the table.
+func figure8(s *Session) (*Table, error) {
+	return s.asymmetric("Figure 8", "Total execution time, asymmetric relation sizes",
+		func(r *core.Report) float64 { return r.TotalSec })
+}
+
+// figure9 — table building time for the same pair.
+func figure9(s *Session) (*Table, error) {
+	return s.asymmetric("Figure 9", "Hash table building time, asymmetric relation sizes", buildSec)
+}
+
+// skewCases are the Figure 10-11 distributions.
+var skewCases = []struct {
+	label string
+	dist  datagen.Dist
+	sigma float64
+}{
+	{"uniform", datagen.Uniform, 0},
+	{"sigma = 0.001", datagen.Gaussian, 0.001},
+	{"sigma = 0.0001", datagen.Gaussian, 0.0001},
+}
+
+// figure10 — total execution time under data skew (J=4, 10M tuples).
+func figure10(s *Session) (*Table, error) {
+	t := &Table{
+		Figure: "Figure 10", Title: "Total execution time with skewed distribution (4 initial nodes)",
+		XLabel: "Skew Distribution", Unit: "seconds", Series: algNames,
+	}
+	for _, c := range skewCases {
+		row := make([]float64, len(algSeries))
+		for i, alg := range algSeries {
+			r, err := s.run(workload{alg: alg, initial: 4,
+				rTuples: defaultTuples, sTuples: defaultTuples,
+				tupleSize: defaultTupleSize, dist: c.dist, sigma: c.sigma})
+			if err != nil {
+				return nil, err
+			}
+			row[i] = r.TotalSec
+		}
+		t.XValues = append(t.XValues, c.label)
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// figure11 — extra communication under data skew, with the size of R.
+func figure11(s *Session) (*Table, error) {
+	t := &Table{
+		Figure: "Figure 11", Title: "Extra communication overhead with skewed distribution",
+		XLabel: "Data Distribution", Unit: "chunks",
+		Series: append(append([]string{}, algNames[:3]...), "Size of Table R"),
+	}
+	for _, c := range skewCases {
+		row := make([]float64, 0, 4)
+		for _, alg := range algSeries[:3] {
+			r, err := s.run(workload{alg: alg, initial: 4,
+				rTuples: defaultTuples, sTuples: defaultTuples,
+				tupleSize: defaultTupleSize, dist: c.dist, sigma: c.sigma})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, r.ExtraBuildChunks)
+		}
+		row = append(row, s.rChunks(defaultTuples))
+		t.XValues = append(t.XValues, c.label)
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// loadBalance runs the Figure 12-13 load-balance measurements.
+func (s *Session) loadBalance(fig, title string, dist datagen.Dist, sigma float64) (*Table, error) {
+	t := &Table{
+		Figure: fig, Title: title, XLabel: "Join Algorithm", Unit: "chunks",
+		Series: []string{"Average Load", "Maxim Load", "Min Load"},
+	}
+	for i, alg := range algSeries[:3] {
+		r, err := s.run(workload{alg: alg, initial: 4,
+			rTuples: defaultTuples, sTuples: defaultTuples,
+			tupleSize: defaultTupleSize, dist: dist, sigma: sigma})
+		if err != nil {
+			return nil, err
+		}
+		t.XValues = append(t.XValues, algNames[i])
+		t.Cells = append(t.Cells, []float64{r.LoadAvgChunks, r.LoadMaxChunks, r.LoadMinChunks})
+	}
+	return t, nil
+}
+
+// figure12 — per-node load balance, uniform distribution.
+func figure12(s *Session) (*Table, error) {
+	return s.loadBalance("Figure 12", "Load balance, uniform distribution", datagen.Uniform, 0)
+}
+
+// figure13 — per-node load balance, extreme skew.
+func figure13(s *Session) (*Table, error) {
+	return s.loadBalance("Figure 13", "Load balance, skewed distribution (sigma = 0.0001)",
+		datagen.Gaussian, 0.0001)
+}

@@ -1,0 +1,97 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionInSpace(t *testing.T) {
+	for _, mode := range []Mode{Scaled, Multiplicative} {
+		s := Space{Bits: 10, Mode: mode}
+		f := func(key uint64) bool {
+			p := s.PositionOf(key)
+			return p >= 0 && p < s.Positions()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func TestScaledIsOrderPreserving(t *testing.T) {
+	s := Space{Bits: 12, Mode: Scaled}
+	f := func(a, b uint64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return s.PositionOf(a) <= s.PositionOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledExtremes(t *testing.T) {
+	s := DefaultSpace()
+	if got := s.PositionOf(0); got != 0 {
+		t.Errorf("PositionOf(0) = %d", got)
+	}
+	if got := s.PositionOf(^uint64(0)); got != s.Positions()-1 {
+		t.Errorf("PositionOf(max) = %d, want %d", got, s.Positions()-1)
+	}
+}
+
+func TestMultiplicativeSpreadsClusteredKeys(t *testing.T) {
+	// Keys clustered in a tiny window should still hit many distinct
+	// positions under the mixing hash, and very few under the scaled hash.
+	s := Space{Bits: 16, Mode: Multiplicative}
+	sc := Space{Bits: 16, Mode: Scaled}
+	mixed := map[int]bool{}
+	scaled := map[int]bool{}
+	base := uint64(1) << 40
+	for i := uint64(0); i < 1000; i++ {
+		mixed[s.PositionOf(base+i)] = true
+		scaled[sc.PositionOf(base+i)] = true
+	}
+	if len(mixed) < 900 {
+		t.Errorf("multiplicative hash hit only %d distinct positions", len(mixed))
+	}
+	if len(scaled) > 2 {
+		t.Errorf("scaled hash spread clustered keys over %d positions", len(scaled))
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := DefaultSpace().Validate(); err != nil {
+		t.Errorf("default space invalid: %v", err)
+	}
+	for _, bad := range []Space{{Bits: 0}, {Bits: 31}, {Bits: 8, Mode: Mode(7)}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("space %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestRangeHalves(t *testing.T) {
+	lo, hi := Range{10, 20}.Halves()
+	if lo != (Range{10, 15}) || hi != (Range{15, 20}) {
+		t.Errorf("halves = %v, %v", lo, hi)
+	}
+	// Odd width: lower half gets the smaller share.
+	lo, hi = Range{0, 5}.Halves()
+	if lo.Width()+hi.Width() != 5 || lo.Hi != hi.Lo {
+		t.Errorf("odd halves = %v, %v", lo, hi)
+	}
+}
+
+func TestModeAndRangeStrings(t *testing.T) {
+	if Scaled.String() != "scaled" || Multiplicative.String() != "multiplicative" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+	if (Range{1, 3}).String() != "[1,3)" {
+		t.Errorf("range string: %s", Range{1, 3})
+	}
+}

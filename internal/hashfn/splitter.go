@@ -1,0 +1,79 @@
+package hashfn
+
+// Splitter tracks the linear-hashing split discipline used by the
+// split-based algorithm (§4.2.1, after Amin et al. and Litwin).
+//
+// A split pointer walks the bucket sequence in position order. When any
+// bucket overflows, the bucket *at the split pointer* — not necessarily the
+// overflowed one — is split, its upper half migrating to a new node. After
+// a full round every original bucket has been halved once and the pointer
+// wraps, starting the next round (the paper's hash-function pair
+// (h_i, h_{i+1}) advances to (h_{i+1}, h_{i+2})).
+//
+// The scheduler additionally keeps a *barrier*: only one split may be in
+// flight at a time, so the pointer is not advanced past a bucket until that
+// bucket's split has completed (the paper's "barrier split pointer",
+// guaranteeing at most two active hash functions).
+type Splitter struct {
+	// Round counts completed pointer sweeps; it corresponds to the level i
+	// of the active hash-function pair.
+	Round int
+	// ptr indexes the entry (in table order) to split next.
+	ptr int
+	// roundEnd is the number of entries that existed when the current
+	// round began; entries created during the round are skipped until the
+	// next round, exactly as linear hashing defers new buckets.
+	roundEnd int
+	// inFlight marks a split that has been issued but not yet completed.
+	inFlight bool
+}
+
+// NewSplitter starts the discipline over a table with initialEntries
+// buckets.
+func NewSplitter(initialEntries int) *Splitter {
+	return &Splitter{roundEnd: initialEntries}
+}
+
+// CanIssue reports whether a new split may be issued now (no split is in
+// flight).
+func (s *Splitter) CanIssue() bool { return !s.inFlight }
+
+// Next selects the entry index to split in table t, honouring the pointer
+// order and skipping entries too narrow to split. It returns -1 if no entry
+// can be split (every range has width 1). Next does not mutate the table;
+// the caller performs the split and then calls Issued/Completed.
+func (s *Splitter) Next(t *Table) int {
+	if s.inFlight {
+		return -1
+	}
+	// At most two sweeps: the remainder of this round plus one full pass,
+	// in case every splittable entry lies behind the pointer.
+	for scanned := 0; scanned < 2*len(t.Entries)+2; scanned++ {
+		if s.ptr >= s.roundEnd || s.ptr >= len(t.Entries) {
+			// Round complete: all entries (including the ones created
+			// this round) participate in the next round.
+			s.Round++
+			s.ptr = 0
+			s.roundEnd = len(t.Entries)
+		}
+		if t.Entries[s.ptr].Range.Width() >= 2 {
+			return s.ptr
+		}
+		s.ptr++
+	}
+	return -1
+}
+
+// Issued records that the entry returned by Next is being split. The table
+// mutation inserts the new upper-half entry immediately after the split
+// entry; the pointer skips both halves for the remainder of the round, and
+// the round boundary shifts by one to account for the insertion.
+func (s *Splitter) Issued() {
+	s.inFlight = true
+	s.ptr += 2
+	s.roundEnd++
+}
+
+// Completed releases the barrier after the in-flight split has finished
+// (the scheduler received the splitting node's done message).
+func (s *Splitter) Completed() { s.inFlight = false }

@@ -1,0 +1,200 @@
+package hashfn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry assigns one contiguous position range to one or more join nodes.
+//
+// With a single owner the entry behaves like an ordinary bucket. With
+// multiple owners the range has been *replicated* (replication-based and
+// hybrid algorithms): build tuples stream to the newest owner (the tail of
+// Owners), while probe tuples must be broadcast to every owner.
+type Entry struct {
+	Range  Range
+	Owners []int32
+}
+
+// BuildOwner returns the node currently receiving build tuples for the
+// range: the most recently added owner.
+func (e Entry) BuildOwner() int32 { return e.Owners[len(e.Owners)-1] }
+
+// Table is the routing table shared (by value, via broadcast) between the
+// scheduler, the data sources, and the join processes. Entries are kept
+// sorted by Range.Lo and always tile the full position space exactly.
+//
+// Table is a value type from the perspective of the protocol: the scheduler
+// mutates its master copy and broadcasts clones; receivers replace their
+// copy when the version increases.
+type Table struct {
+	// Version increases with every mutation so that stale broadcast copies
+	// can be recognised and discarded.
+	Version uint64
+	Entries []Entry
+}
+
+// NewTable partitions the space evenly across the given owners, one entry
+// per owner, mirroring the initial bucket assignment of all four
+// algorithms.
+func NewTable(space Space, owners []int32) (*Table, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(owners)
+	if n == 0 {
+		return nil, fmt.Errorf("hashfn: table needs at least one owner")
+	}
+	h := space.Positions()
+	if n > h {
+		return nil, fmt.Errorf("hashfn: %d owners exceed %d positions", n, h)
+	}
+	t := &Table{Version: 1, Entries: make([]Entry, 0, n)}
+	for i := 0; i < n; i++ {
+		lo := i * h / n
+		hi := (i + 1) * h / n
+		t.Entries = append(t.Entries, Entry{Range: Range{lo, hi}, Owners: []int32{owners[i]}})
+	}
+	return t, nil
+}
+
+// Clone returns a deep copy, used when broadcasting the table so receivers
+// never alias the scheduler's master copy.
+func (t *Table) Clone() *Table {
+	c := &Table{Version: t.Version, Entries: make([]Entry, len(t.Entries))}
+	for i, e := range t.Entries {
+		owners := make([]int32, len(e.Owners))
+		copy(owners, e.Owners)
+		c.Entries[i] = Entry{Range: e.Range, Owners: owners}
+	}
+	return c
+}
+
+// EntryIndexOf returns the index of the entry containing position p.
+func (t *Table) EntryIndexOf(p int) int {
+	// Find the first entry with Range.Hi > p; entries tile the space, so
+	// that entry contains p.
+	i := sort.Search(len(t.Entries), func(i int) bool { return t.Entries[i].Range.Hi > p })
+	if i == len(t.Entries) {
+		panic(fmt.Sprintf("hashfn: position %d beyond table covering %v", p, t.Entries[len(t.Entries)-1].Range))
+	}
+	return i
+}
+
+// BuildOwnerOf returns the node that should receive a build tuple hashed to
+// position p.
+func (t *Table) BuildOwnerOf(p int) int32 {
+	return t.Entries[t.EntryIndexOf(p)].BuildOwner()
+}
+
+// ProbeOwnersOf returns every node that must receive a probe tuple hashed
+// to position p. For unreplicated ranges this is a single node.
+func (t *Table) ProbeOwnersOf(p int) []int32 {
+	return t.Entries[t.EntryIndexOf(p)].Owners
+}
+
+// EntryIndexOwnedBy returns the index of the first entry whose build owner
+// is node, or -1.
+func (t *Table) EntryIndexOwnedBy(node int32) int {
+	for i, e := range t.Entries {
+		if e.BuildOwner() == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// SplitEntry halves the range of entry idx: the existing owners keep the
+// lower half and newOwner receives the upper half as a fresh single-owner
+// entry. It returns the two resulting ranges and an error if the entry is
+// too narrow to split.
+func (t *Table) SplitEntry(idx int, newOwner int32) (lower, upper Range, err error) {
+	e := t.Entries[idx]
+	if e.Range.Width() < 2 {
+		return Range{}, Range{}, fmt.Errorf("hashfn: entry %d range %v too narrow to split", idx, e.Range)
+	}
+	lower, upper = e.Range.Halves()
+	t.Entries[idx].Range = lower
+	newEntry := Entry{Range: upper, Owners: []int32{newOwner}}
+	t.Entries = append(t.Entries, Entry{})
+	copy(t.Entries[idx+2:], t.Entries[idx+1:])
+	t.Entries[idx+1] = newEntry
+	t.Version++
+	return lower, upper, nil
+}
+
+// AddReplica appends newOwner to entry idx's owner list; newOwner becomes
+// the build owner of the range.
+func (t *Table) AddReplica(idx int, newOwner int32) {
+	t.Entries[idx].Owners = append(t.Entries[idx].Owners, newOwner)
+	t.Version++
+}
+
+// ReplaceEntries substitutes the entry at idx with the given replacement
+// entries, which must tile exactly the same range in ascending order. It is
+// used by the hybrid algorithm's reshuffling step, which turns one
+// replicated entry into several disjoint single-owner entries.
+func (t *Table) ReplaceEntries(idx int, repl []Entry) error {
+	orig := t.Entries[idx].Range
+	if len(repl) == 0 {
+		return fmt.Errorf("hashfn: empty replacement for entry %d", idx)
+	}
+	lo := orig.Lo
+	for _, e := range repl {
+		if e.Range.Lo != lo {
+			return fmt.Errorf("hashfn: replacement ranges do not tile %v (gap at %d)", orig, lo)
+		}
+		lo = e.Range.Hi
+	}
+	if lo != orig.Hi {
+		return fmt.Errorf("hashfn: replacement ranges stop at %d, want %d", lo, orig.Hi)
+	}
+	out := make([]Entry, 0, len(t.Entries)+len(repl)-1)
+	out = append(out, t.Entries[:idx]...)
+	out = append(out, repl...)
+	out = append(out, t.Entries[idx+1:]...)
+	t.Entries = out
+	t.Version++
+	return nil
+}
+
+// Owners returns the deduplicated set of all nodes appearing in the table,
+// in first-appearance order.
+func (t *Table) Owners() []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, e := range t.Entries {
+		for _, o := range e.Owners {
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the table invariants: entries sorted, tiling the space
+// exactly, each with at least one owner.
+func (t *Table) Validate(space Space) error {
+	if len(t.Entries) == 0 {
+		return fmt.Errorf("hashfn: empty table")
+	}
+	lo := 0
+	for i, e := range t.Entries {
+		if e.Range.Lo != lo {
+			return fmt.Errorf("hashfn: entry %d starts at %d, want %d", i, e.Range.Lo, lo)
+		}
+		if e.Range.Width() <= 0 {
+			return fmt.Errorf("hashfn: entry %d has non-positive range %v", i, e.Range)
+		}
+		if len(e.Owners) == 0 {
+			return fmt.Errorf("hashfn: entry %d has no owners", i)
+		}
+		lo = e.Range.Hi
+	}
+	if lo != space.Positions() {
+		return fmt.Errorf("hashfn: table covers [0,%d), want [0,%d)", lo, space.Positions())
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package hashtable implements the per-join-node in-memory hash table.
+//
+// Two levels of hashing are involved, matching the paper's architecture:
+// the *routing* position (hashfn.Space) decides which join node owns a
+// tuple and is the granularity of splitting and reshuffling, while the
+// local table chains tuples by their full join attribute so probe cost is
+// proportional to the number of genuine key matches, not to routing-level
+// clustering.
+//
+// The table accounts *logical* bytes (tuple physical fields plus the
+// declared payload size), because memory overflow — the event that drives
+// all three expanding algorithms — is a property of the full tuple size.
+package hashtable
+
+import (
+	"ehjoin/internal/hashfn"
+	"ehjoin/internal/tuple"
+)
+
+const (
+	// bucketLoad is the average chain length that triggers a rehash.
+	bucketLoad = 4
+	// minBuckets is the initial internal bucket count.
+	minBuckets = 1024
+	fibMul     = 0x9E3779B97F4A7C15
+)
+
+// Table is a join node's local hash table.
+type Table struct {
+	space   hashfn.Space
+	layout  tuple.Layout
+	buckets [][]tuple.Tuple
+	shift   uint
+	count   int64
+	bytes   int64
+	// posCount tracks tuples per routing position, needed by the hybrid
+	// algorithm's reshuffling step and by the load-balance metrics.
+	posCount []int64
+}
+
+// New returns an empty table for tuples of the given layout.
+func New(space hashfn.Space, layout tuple.Layout) *Table {
+	t := &Table{
+		space:    space,
+		layout:   layout,
+		buckets:  make([][]tuple.Tuple, minBuckets),
+		posCount: make([]int64, space.Positions()),
+	}
+	t.shift = 64 - log2(minBuckets)
+	return t
+}
+
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func (t *Table) bucketOf(key uint64) int {
+	return int((key * fibMul) >> t.shift)
+}
+
+// Insert adds one tuple.
+func (t *Table) Insert(tp tuple.Tuple) {
+	if t.count >= bucketLoad*int64(len(t.buckets)) {
+		t.grow()
+	}
+	b := t.bucketOf(tp.Key)
+	t.buckets[b] = append(t.buckets[b], tp)
+	t.count++
+	t.bytes += int64(t.layout.LogicalSize())
+	t.posCount[t.space.PositionOf(tp.Key)]++
+}
+
+// InsertChunk adds every tuple of a chunk.
+func (t *Table) InsertChunk(c *tuple.Chunk) {
+	for _, tp := range c.Tuples {
+		t.Insert(tp)
+	}
+}
+
+func (t *Table) grow() {
+	old := t.buckets
+	t.buckets = make([][]tuple.Tuple, 2*len(old))
+	t.shift--
+	for _, chain := range old {
+		for _, tp := range chain {
+			b := t.bucketOf(tp.Key)
+			t.buckets[b] = append(t.buckets[b], tp)
+		}
+	}
+}
+
+// Probe invokes fn for every stored tuple whose join attribute equals key
+// and returns the number of matches.
+func (t *Table) Probe(key uint64, fn func(build tuple.Tuple)) int {
+	matches := 0
+	for _, tp := range t.buckets[t.bucketOf(key)] {
+		if tp.Key == key {
+			matches++
+			if fn != nil {
+				fn(tp)
+			}
+		}
+	}
+	return matches
+}
+
+// Count returns the number of stored tuples.
+func (t *Table) Count() int64 { return t.count }
+
+// Bytes returns the accounted logical size of the stored tuples.
+func (t *Table) Bytes() int64 { return t.bytes }
+
+// Layout returns the tuple layout the table accounts with.
+func (t *Table) Layout() tuple.Layout { return t.layout }
+
+// CountsInRange returns the per-position tuple counts for the routing
+// positions in r, as exchanged during the hybrid algorithm's reshuffle.
+func (t *Table) CountsInRange(r hashfn.Range) []int64 {
+	out := make([]int64, r.Width())
+	copy(out, t.posCount[r.Lo:r.Hi])
+	return out
+}
+
+// ExtractRange removes and returns every stored tuple whose routing
+// position falls in r. It is used when a split migrates the upper half of
+// a bucket to a new node and when reshuffling redistributes replicated
+// ranges.
+func (t *Table) ExtractRange(r hashfn.Range) []tuple.Tuple {
+	return t.ExtractMatching(func(tp tuple.Tuple) bool {
+		return r.Contains(t.space.PositionOf(tp.Key))
+	})
+}
+
+// ExtractMatching removes and returns every stored tuple satisfying pred.
+// It is used by the out-of-core machinery to evict a spill partition.
+func (t *Table) ExtractMatching(pred func(tuple.Tuple) bool) []tuple.Tuple {
+	var moved []tuple.Tuple
+	for b, chain := range t.buckets {
+		kept := chain[:0]
+		for _, tp := range chain {
+			if pred(tp) {
+				moved = append(moved, tp)
+				t.posCount[t.space.PositionOf(tp.Key)]--
+			} else {
+				kept = append(kept, tp)
+			}
+		}
+		if len(kept) != len(chain) {
+			t.buckets[b] = kept
+		}
+	}
+	n := int64(len(moved))
+	t.count -= n
+	t.bytes -= n * int64(t.layout.LogicalSize())
+	return moved
+}
+
+// ForEach invokes fn for every stored tuple, in no particular order.
+func (t *Table) ForEach(fn func(tuple.Tuple)) {
+	for _, chain := range t.buckets {
+		for _, tp := range chain {
+			fn(tp)
+		}
+	}
+}
+
+// Reset empties the table, retaining allocated capacity where convenient.
+func (t *Table) Reset() {
+	t.buckets = make([][]tuple.Tuple, minBuckets)
+	t.shift = 64 - log2(minBuckets)
+	t.count = 0
+	t.bytes = 0
+	for i := range t.posCount {
+		t.posCount[i] = 0
+	}
+}

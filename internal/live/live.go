@@ -1,0 +1,170 @@
+// Package live is the wall-clock execution engine: every actor runs on its
+// own goroutine with an unbounded FIFO mailbox. It executes the same
+// protocol actors as the simulator, with real concurrency and no modelled
+// costs — used for correctness cross-checks (the join result must be
+// identical to the simulator's) and for live demos.
+//
+// Unlike the simulator, message interleaving across senders is
+// nondeterministic here, which exercises the protocol's robustness to
+// reordering (stray re-routing, pre-init buffering, credit flow control).
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	rt "ehjoin/internal/runtime"
+)
+
+type delivery struct {
+	from rt.NodeID
+	msg  rt.Message
+}
+
+// node is one actor with its mailbox and worker goroutine.
+type node struct {
+	id    rt.NodeID
+	actor rt.Actor
+	eng   *Engine
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []delivery
+	stop bool
+}
+
+// Engine implements runtime.Engine on goroutines and wall-clock time.
+type Engine struct {
+	mu      sync.Mutex
+	idle    *sync.Cond
+	pending int64
+	nodes   map[rt.NodeID]*node
+	start   time.Time
+	closed  bool
+}
+
+// New returns an empty live engine.
+func New() *Engine {
+	e := &Engine{nodes: make(map[rt.NodeID]*node), start: time.Now()}
+	e.idle = sync.NewCond(&e.mu)
+	return e
+}
+
+// Register implements runtime.Engine and starts the actor's worker.
+func (e *Engine) Register(id rt.NodeID, a rt.Actor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.nodes[id]; dup {
+		panic(fmt.Sprintf("live: node %d registered twice", id))
+	}
+	n := &node{id: id, actor: a, eng: e}
+	n.cond = sync.NewCond(&n.mu)
+	e.nodes[id] = n
+	go n.run()
+}
+
+// Inject implements runtime.Engine.
+func (e *Engine) Inject(to rt.NodeID, m rt.Message) {
+	e.deliver(rt.NoNode, to, m)
+}
+
+func (e *Engine) deliver(from, to rt.NodeID, m rt.Message) {
+	e.mu.Lock()
+	n, ok := e.nodes[to]
+	if !ok {
+		e.mu.Unlock()
+		panic(fmt.Sprintf("live: message %T for unregistered node %d", m, to))
+	}
+	e.pending++
+	e.mu.Unlock()
+
+	n.mu.Lock()
+	n.q = append(n.q, delivery{from: from, msg: m})
+	n.cond.Signal()
+	n.mu.Unlock()
+}
+
+func (e *Engine) done() {
+	e.mu.Lock()
+	e.pending--
+	if e.pending == 0 {
+		e.idle.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// Drain implements runtime.Engine: block until every mailbox is empty and
+// no actor is mid-message.
+func (e *Engine) Drain() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.pending != 0 {
+		e.idle.Wait()
+	}
+	return nil
+}
+
+// NowSeconds implements runtime.Engine with wall-clock time.
+func (e *Engine) NowSeconds() float64 { return time.Since(e.start).Seconds() }
+
+// Close stops every worker goroutine. The engine must be quiescent (Drain
+// returned) before closing.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	nodes := make([]*node, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		nodes = append(nodes, n)
+	}
+	e.mu.Unlock()
+	for _, n := range nodes {
+		n.mu.Lock()
+		n.stop = true
+		n.cond.Signal()
+		n.mu.Unlock()
+	}
+}
+
+func (n *node) run() {
+	env := &liveEnv{eng: n.eng, self: n.id}
+	for {
+		n.mu.Lock()
+		for len(n.q) == 0 && !n.stop {
+			n.cond.Wait()
+		}
+		if n.stop && len(n.q) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		d := n.q[0]
+		n.q = n.q[1:]
+		n.mu.Unlock()
+
+		n.actor.Receive(env, d.from, d.msg)
+		n.eng.done()
+	}
+}
+
+// liveEnv implements runtime.Env for one actor. Cost charges are no-ops:
+// real computation already takes real time.
+type liveEnv struct {
+	eng  *Engine
+	self rt.NodeID
+}
+
+// Now implements runtime.Env.
+func (l *liveEnv) Now() int64 { return time.Since(l.eng.start).Nanoseconds() }
+
+// Send implements runtime.Env.
+func (l *liveEnv) Send(to rt.NodeID, m rt.Message) { l.eng.deliver(l.self, to, m) }
+
+// ChargeCPU implements runtime.Env as a no-op.
+func (l *liveEnv) ChargeCPU(ns int64) {}
+
+// ChargeDisk implements runtime.Env as a no-op.
+func (l *liveEnv) ChargeDisk(bytes int64, read bool) {}

@@ -1,0 +1,132 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+
+	rt "ehjoin/internal/runtime"
+)
+
+type countMsg struct{ n int }
+
+func (*countMsg) WireSize() int { return 8 }
+
+type counter struct{ seen atomic.Int64 }
+
+func (c *counter) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	c.seen.Add(1)
+}
+
+type fanout struct{ to []rt.NodeID }
+
+func (f *fanout) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	for _, d := range f.to {
+		env.Send(d, m)
+	}
+}
+
+func TestDeliveryAndDrain(t *testing.T) {
+	e := New()
+	defer e.Close()
+	c := &counter{}
+	e.Register(1, &fanout{to: []rt.NodeID{2, 2, 2}})
+	e.Register(2, c)
+	for i := 0; i < 10; i++ {
+		e.Inject(1, &countMsg{n: i})
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.seen.Load(); got != 30 {
+		t.Errorf("delivered %d messages, want 30", got)
+	}
+}
+
+type pingpong struct {
+	peer  rt.NodeID
+	count atomic.Int64
+	limit int64
+}
+
+func (p *pingpong) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	if p.count.Add(1) <= p.limit {
+		env.Send(p.peer, m)
+	}
+}
+
+func TestBoundedPingPongDrains(t *testing.T) {
+	e := New()
+	defer e.Close()
+	a := &pingpong{peer: 2, limit: 500}
+	b := &pingpong{peer: 1, limit: 500}
+	e.Register(1, a)
+	e.Register(2, b)
+	e.Inject(1, &countMsg{})
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if a.count.Load() < 500 || b.count.Load() < 500 {
+		t.Errorf("ping-pong stopped early: %d/%d", a.count.Load(), b.count.Load())
+	}
+}
+
+func TestMultipleDrains(t *testing.T) {
+	e := New()
+	defer e.Close()
+	c := &counter{}
+	e.Register(1, c)
+	e.Inject(1, &countMsg{})
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	e.Inject(1, &countMsg{})
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.seen.Load(); got != 2 {
+		t.Errorf("saw %d messages across two drains", got)
+	}
+}
+
+func TestFIFOPerSender(t *testing.T) {
+	e := New()
+	defer e.Close()
+	var order []int
+	rec := recorderFunc(func(env rt.Env, from rt.NodeID, m rt.Message) {
+		order = append(order, m.(*countMsg).n)
+	})
+	e.Register(1, rec)
+	for i := 0; i < 100; i++ {
+		e.Inject(1, &countMsg{n: i})
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range order {
+		if n != i {
+			t.Fatalf("out-of-order delivery at %d: %v...", i, order[:i+1])
+		}
+	}
+}
+
+type recorderFunc func(env rt.Env, from rt.NodeID, m rt.Message)
+
+func (f recorderFunc) Receive(env rt.Env, from rt.NodeID, m rt.Message) { f(env, from, m) }
+
+func TestCloseIdempotent(t *testing.T) {
+	e := New()
+	e.Register(1, &counter{})
+	e.Close()
+	e.Close()
+}
+
+func TestUnregisteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := New()
+	defer e.Close()
+	e.Inject(99, &countMsg{})
+}

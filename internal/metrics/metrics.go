@@ -1,0 +1,34 @@
+// Package metrics computes the derived measurements the paper reports:
+// load-balance statistics in chunks (Figures 12-13) and chunk-volume
+// conversions (Figures 4 and 11).
+package metrics
+
+// Balance returns the average, maximum, and minimum of loads expressed in
+// chunks of chunkTuples tuples, as plotted in the paper's load-balance
+// figures. Empty input yields zeros.
+func Balance(loads []int64, chunkTuples int) (avg, max, min float64) {
+	if len(loads) == 0 || chunkTuples <= 0 {
+		return 0, 0, 0
+	}
+	var sum int64
+	mx, mn := loads[0], loads[0]
+	for _, l := range loads {
+		sum += l
+		if l > mx {
+			mx = l
+		}
+		if l < mn {
+			mn = l
+		}
+	}
+	ct := float64(chunkTuples)
+	return float64(sum) / float64(len(loads)) / ct, float64(mx) / ct, float64(mn) / ct
+}
+
+// Chunks converts a tuple count to chunk units.
+func Chunks(tuples int64, chunkTuples int) float64 {
+	if chunkTuples <= 0 {
+		return 0
+	}
+	return float64(tuples) / float64(chunkTuples)
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import "testing"
+
+func TestBalance(t *testing.T) {
+	avg, max, min := Balance([]int64{10000, 30000, 20000}, 10000)
+	if avg != 2 || max != 3 || min != 1 {
+		t.Errorf("balance = %v/%v/%v, want 2/3/1", avg, max, min)
+	}
+}
+
+func TestBalanceEmpty(t *testing.T) {
+	if a, mx, mn := Balance(nil, 10000); a != 0 || mx != 0 || mn != 0 {
+		t.Errorf("empty balance = %v/%v/%v", a, mx, mn)
+	}
+	if a, _, _ := Balance([]int64{5}, 0); a != 0 {
+		t.Error("zero chunk size should yield zeros")
+	}
+}
+
+func TestBalanceSingle(t *testing.T) {
+	avg, max, min := Balance([]int64{42000}, 1000)
+	if avg != 42 || max != 42 || min != 42 {
+		t.Errorf("single balance = %v/%v/%v", avg, max, min)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	if got := Chunks(25000, 10000); got != 2.5 {
+		t.Errorf("Chunks = %v, want 2.5", got)
+	}
+	if got := Chunks(100, 0); got != 0 {
+		t.Errorf("Chunks with zero size = %v", got)
+	}
+}

@@ -1,0 +1,34 @@
+package runtime
+
+import "testing"
+
+func TestOSUMedNetwork(t *testing.T) {
+	cm := OSUMed()
+	// 100 Mb/s: 1.25 MB takes 0.1 s.
+	if got := cm.NetTransferNs(1_250_000); got != 100_000_000 {
+		t.Errorf("NetTransferNs(1.25MB) = %d, want 1e8", got)
+	}
+}
+
+func TestDiskNs(t *testing.T) {
+	cm := CostModel{DiskWriteBps: 25e6, DiskReadBps: 50e6}
+	if got := cm.DiskNs(25e6, false); got != 1_000_000_000 {
+		t.Errorf("write 25MB = %d ns, want 1e9", got)
+	}
+	if got := cm.DiskNs(25e6, true); got != 500_000_000 {
+		t.Errorf("read 25MB = %d ns, want 5e8", got)
+	}
+}
+
+func TestOSUMedSane(t *testing.T) {
+	cm := OSUMed()
+	if cm.BuildNs <= 0 || cm.ProbeNs <= 0 || cm.GenNs <= 0 || cm.MoveNs <= 0 {
+		t.Error("CPU costs must be positive")
+	}
+	if cm.NetBandwidthBps != 12.5e6 {
+		t.Errorf("default bandwidth %v, want 100 Mb/s", cm.NetBandwidthBps)
+	}
+	if cm.DiskWriteBps <= 0 || cm.DiskReadBps <= 0 {
+		t.Error("disk bandwidths must be positive")
+	}
+}

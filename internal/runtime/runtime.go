@@ -1,0 +1,68 @@
+// Package runtime defines the execution abstraction the join algorithms are
+// written against. The scheduler, data sources, and join processes are
+// Actors exchanging Messages through an Env; the same actor code runs
+// unchanged on three engines:
+//
+//   - internal/sim: a deterministic discrete-event simulation with a
+//     calibrated cluster cost model (virtual time) — the engine used for
+//     reproducing the paper's measurements;
+//   - internal/rt: a goroutine-per-actor engine (wall-clock time) — used
+//     for correctness cross-checks and live demos;
+//   - internal/tcpnet: a TCP/gob transport running actors across real OS
+//     processes.
+package runtime
+
+// NodeID identifies one logical cluster node (scheduler, data source, or
+// join node). IDs are assigned by the orchestration layer.
+type NodeID int32
+
+// NoNode is the sender of injected (orchestration) messages.
+const NoNode NodeID = -1
+
+// Message is anything actors exchange. WireSize reports the logical size in
+// bytes used for network-transfer accounting; transports add their own
+// per-message overhead on top.
+type Message interface {
+	WireSize() int
+}
+
+// Env is an actor's handle to its execution environment. All methods are
+// meant to be called only from within Receive.
+type Env interface {
+	// Now returns the current time in nanoseconds: virtual time on the
+	// simulator, wall-clock on live engines.
+	Now() int64
+	// Send dispatches a message from this actor to another actor.
+	Send(to NodeID, m Message)
+	// ChargeCPU accounts ns nanoseconds of local computation. On the
+	// simulator this advances the node's clock and delays everything the
+	// actor does afterwards; live engines ignore it (the real computation
+	// already took real time).
+	ChargeCPU(ns int64)
+	// ChargeDisk accounts a blocking local-disk transfer of the given
+	// logical size. Only the simulator models it.
+	ChargeDisk(bytes int64, read bool)
+}
+
+// Actor is a protocol participant. Receive is invoked once per incoming
+// message; engines guarantee an actor processes one message at a time.
+type Actor interface {
+	Receive(env Env, from NodeID, m Message)
+}
+
+// Engine runs a set of actors to quiescence.
+type Engine interface {
+	// Register adds an actor under the given id. Must be called before
+	// Inject or Drain.
+	Register(id NodeID, a Actor)
+	// Inject delivers an orchestration message (from NoNode) without
+	// charging the network.
+	Inject(to NodeID, m Message)
+	// Drain processes messages until no work remains, then returns. It is
+	// the phase barrier used between the build, reshuffle, and probe
+	// phases.
+	Drain() error
+	// NowSeconds reports the engine's current time in seconds since the
+	// run started (virtual on the simulator, wall-clock otherwise).
+	NowSeconds() float64
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"testing"
+
+	rt "ehjoin/internal/runtime"
+)
+
+// testMsg is a message with an explicit size and tag.
+type testMsg struct {
+	size int
+	tag  int
+}
+
+func (m *testMsg) WireSize() int { return m.size }
+
+// recorder logs deliveries and can charge CPU or reply.
+type recorder struct {
+	got     []int // tags in delivery order
+	times   []int64
+	chargeN int64
+	replyTo rt.NodeID
+}
+
+func (r *recorder) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	tm := m.(*testMsg)
+	r.got = append(r.got, tm.tag)
+	r.times = append(r.times, env.Now())
+	if r.chargeN > 0 {
+		env.ChargeCPU(r.chargeN)
+	}
+	if r.replyTo != 0 {
+		env.Send(r.replyTo, &testMsg{size: 10, tag: tm.tag + 1000})
+	}
+}
+
+// sender emits n messages of the given size on kickoff.
+type sender struct {
+	to   rt.NodeID
+	n    int
+	size int
+}
+
+func (s *sender) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	for i := 0; i < s.n; i++ {
+		env.Send(s.to, &testMsg{size: s.size, tag: i})
+	}
+}
+
+// flatModel has easy round numbers: 1 byte/ns bandwidth, no latency, no
+// overhead.
+func flatModel() rt.CostModel {
+	return rt.CostModel{NetBandwidthBps: 1e9, NetLatencyNs: 0, MsgOverheadBytes: 0}
+}
+
+func TestPointToPointThroughputIsPipelined(t *testing.T) {
+	// n messages of size s between one sender and one receiver should
+	// complete at n*s (TX serialisation) + s (RX of the last message):
+	// the TX and RX ports pipeline.
+	s := New(flatModel())
+	rec := &recorder{}
+	s.Register(1, &sender{to: 2, n: 5, size: 100_000})
+	s.Register(2, rec)
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.got) != 5 {
+		t.Fatalf("delivered %d messages", len(rec.got))
+	}
+	last := rec.times[len(rec.times)-1]
+	if last != 600_000 {
+		t.Errorf("last delivery at %d ns, want 600000 (pipelined)", last)
+	}
+	// FIFO between a pair.
+	for i, tag := range rec.got {
+		if tag != i {
+			t.Fatalf("out-of-order delivery: %v", rec.got)
+		}
+	}
+}
+
+func TestReceiverPortIsTheBottleneck(t *testing.T) {
+	// Two senders each pushing 4 x 100000B to one receiver: RX serialises
+	// 800000 bytes, so the last delivery cannot be earlier than 800000 ns
+	// and should be well beyond a single stream's 500000 ns.
+	s := New(flatModel())
+	rec := &recorder{}
+	s.Register(1, &sender{to: 3, n: 4, size: 100_000})
+	s.Register(2, &sender{to: 3, n: 4, size: 100_000})
+	s.Register(3, rec)
+	s.Inject(1, &testMsg{})
+	s.Inject(2, &testMsg{})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	last := rec.times[len(rec.times)-1]
+	if last < 800_000 {
+		t.Errorf("last delivery at %d ns; RX port should serialise 800000 bytes", last)
+	}
+}
+
+func TestCPUQueueing(t *testing.T) {
+	// The receiver charges 500000 ns per message; deliveries arrive every
+	// 100000 ns, so processing start times must space out by 500000 ns.
+	s := New(flatModel())
+	rec := &recorder{chargeN: 500_000}
+	s.Register(1, &sender{to: 2, n: 3, size: 100_000})
+	s.Register(2, rec)
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rec.times); i++ {
+		if gap := rec.times[i] - rec.times[i-1]; gap < 500_000 {
+			t.Errorf("processing gap %d ns, want >= 500000", gap)
+		}
+	}
+	if got := s.NodeCPUSeconds(2); got != 1_500_000e-9 {
+		t.Errorf("node 2 CPU seconds = %v", got)
+	}
+}
+
+func TestLatencyAndOverheadApplied(t *testing.T) {
+	cm := flatModel()
+	cm.NetLatencyNs = 500
+	cm.MsgOverheadBytes = 100
+	s := New(cm)
+	rec := &recorder{}
+	s.Register(1, &sender{to: 2, n: 1, size: 9900})
+	s.Register(2, rec)
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// 10000B effective: TX 10000 + latency 500 + RX 10000 = 20500.
+	if rec.times[0] != 20500 {
+		t.Errorf("delivery at %d, want 20500", rec.times[0])
+	}
+	if st := s.Stats(); st.BytesOnWire != 10000 || st.Messages != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSelfSendSkipsNetwork(t *testing.T) {
+	s := New(flatModel())
+	rec := &recorder{}
+	// A self-forwarding actor: first message triggers a self send.
+	s.Register(1, rt.Actor(actorFunc(func(env rt.Env, from rt.NodeID, m rt.Message) {
+		rec.got = append(rec.got, m.(*testMsg).tag)
+		rec.times = append(rec.times, env.Now())
+		if m.(*testMsg).tag == 0 {
+			env.ChargeCPU(700)
+			env.Send(1, &testMsg{size: 1 << 20, tag: 1})
+		}
+	})))
+	s.Inject(1, &testMsg{tag: 0})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.got) != 2 || rec.times[1] != 700 {
+		t.Errorf("self delivery times %v, want second at 700 (no serialisation)", rec.times)
+	}
+	if st := s.Stats(); st.Messages != 0 {
+		t.Errorf("self sends counted as network messages: %+v", st)
+	}
+}
+
+type actorFunc func(env rt.Env, from rt.NodeID, m rt.Message)
+
+func (f actorFunc) Receive(env rt.Env, from rt.NodeID, m rt.Message) { f(env, from, m) }
+
+func TestControlLaneBypassesDataQueue(t *testing.T) {
+	// A small message sent right after a large one must not wait for the
+	// large transfer to serialise: the control lane delivers it at its own
+	// transfer time.
+	s := New(flatModel())
+	rec := &recorder{}
+	s.Register(1, actorFunc(func(env rt.Env, from rt.NodeID, m rt.Message) {
+		env.Send(2, &testMsg{size: 10_000_000, tag: 0}) // 10 ms on the data lane
+		env.Send(2, &testMsg{size: 100, tag: 1})        // control lane
+	}))
+	s.Register(2, rec)
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.got) != 2 {
+		t.Fatalf("delivered %d messages", len(rec.got))
+	}
+	if rec.got[0] != 1 {
+		t.Errorf("control message delivered after data message: order %v", rec.got)
+	}
+	if rec.times[0] != 100 {
+		t.Errorf("control message delivered at %d ns, want 100", rec.times[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		s := New(rt.OSUMed())
+		rec := &recorder{}
+		s.Register(1, &sender{to: 3, n: 10, size: 1234})
+		s.Register(2, &sender{to: 3, n: 10, size: 1234})
+		s.Register(3, rec)
+		s.Inject(1, &testMsg{})
+		s.Inject(2, &testMsg{})
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return rec.times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different delivery counts across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChargeDisk(t *testing.T) {
+	cm := flatModel()
+	cm.DiskWriteBps = 1e9
+	cm.DiskReadBps = 2e9
+	s := New(cm)
+	var at int64
+	s.Register(1, actorFunc(func(env rt.Env, from rt.NodeID, m rt.Message) {
+		env.ChargeDisk(1000, false) // 1000
+		env.ChargeDisk(1000, true)  // 500
+		at = env.Now()
+	}))
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 1500 {
+		t.Errorf("disk charges advanced clock to %d, want 1500", at)
+	}
+	if got := s.NodeDiskSeconds(1); got != 1500e-9 {
+		t.Errorf("disk seconds = %v", got)
+	}
+}
+
+func TestUnregisteredDestinationFails(t *testing.T) {
+	s := New(flatModel())
+	s.Register(1, &sender{to: 99, n: 1, size: 10})
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err == nil {
+		t.Error("expected error for unregistered destination")
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	s := New(flatModel())
+	s.MaxEvents = 10
+	// Two actors ping-pong forever.
+	s.Register(1, actorFunc(func(env rt.Env, from rt.NodeID, m rt.Message) { env.Send(2, &testMsg{size: 1}) }))
+	s.Register(2, actorFunc(func(env rt.Env, from rt.NodeID, m rt.Message) { env.Send(1, &testMsg{size: 1}) }))
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err == nil {
+		t.Error("expected livelock detection")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := New(flatModel())
+	s.Register(1, &recorder{})
+	s.Register(1, &recorder{})
+}
+
+// traceRec captures Observer callbacks.
+type traceRec struct {
+	nodes []rt.NodeID
+	kinds []string
+	spans [][2]int64
+}
+
+func (tr *traceRec) Record(node rt.NodeID, kind string, start, end int64) {
+	tr.nodes = append(tr.nodes, node)
+	tr.kinds = append(tr.kinds, kind)
+	tr.spans = append(tr.spans, [2]int64{start, end})
+}
+
+func TestObserverHook(t *testing.T) {
+	s := New(flatModel())
+	tr := &traceRec{}
+	s.Trace = tr
+	s.Register(1, actorFunc(func(env rt.Env, from rt.NodeID, m rt.Message) {
+		env.ChargeCPU(250)
+	}))
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.nodes) != 1 || tr.nodes[0] != 1 {
+		t.Fatalf("observed nodes %v", tr.nodes)
+	}
+	if tr.kinds[0] != "*sim.testMsg" {
+		t.Errorf("kind = %q", tr.kinds[0])
+	}
+	if tr.spans[0] != [2]int64{0, 250} {
+		t.Errorf("span = %v, want [0 250]", tr.spans[0])
+	}
+}
+
+func TestNowSecondsAdvances(t *testing.T) {
+	s := New(flatModel())
+	s.Register(1, actorFunc(func(env rt.Env, from rt.NodeID, m rt.Message) { env.ChargeCPU(2_000_000_000) }))
+	s.Inject(1, &testMsg{})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NowSeconds(); got != 2.0 {
+		t.Errorf("NowSeconds = %v, want 2.0", got)
+	}
+}

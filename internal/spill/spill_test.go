@@ -1,0 +1,230 @@
+package spill
+
+import (
+	"math/rand"
+	"testing"
+
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+)
+
+var space = hashfn.Space{Bits: 10, Mode: hashfn.Scaled}
+
+// fakeEnv satisfies runtime.Env, accumulating charges.
+type fakeEnv struct {
+	cpuNs  int64
+	diskNs int64
+	reads  int64
+	writes int64
+}
+
+func (f *fakeEnv) Now() int64                      { return f.cpuNs + f.diskNs }
+func (f *fakeEnv) Send(to rt.NodeID, m rt.Message) {}
+func (f *fakeEnv) ChargeCPU(ns int64)              { f.cpuNs += ns }
+func (f *fakeEnv) ChargeDisk(bytes int64, read bool) {
+	f.diskNs += bytes
+	if read {
+		f.reads += bytes
+	} else {
+		f.writes += bytes
+	}
+}
+
+func layout() tuple.Layout { return tuple.DefaultLayout() }
+
+func refJoin(rs, ss []tuple.Tuple) (uint64, uint64) {
+	byKey := make(map[uint64][]uint64)
+	for _, r := range rs {
+		byKey[r.Key] = append(byKey[r.Key], r.Index)
+	}
+	var m, ck uint64
+	for _, s := range ss {
+		for _, ri := range byKey[s.Key] {
+			m++
+			ck ^= MixPair(ri, s.Index)
+		}
+	}
+	return m, ck
+}
+
+func genTuples(n int, seed int64, keyPool int) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{Index: uint64(i), Key: uint64(rng.Intn(keyPool)) * 0x9E3779B97F4A7C15}
+	}
+	return out
+}
+
+func runOOC(t *testing.T, budget int64, parts int, rs, ss []tuple.Tuple) (*Manager, *fakeEnv) {
+	t.Helper()
+	env := &fakeEnv{}
+	m := New(space, layout(), layout(), budget, parts, rt.OSUMed())
+	for _, r := range rs {
+		m.InsertBuild(env, r)
+	}
+	for _, s := range ss {
+		m.Probe(env, s)
+	}
+	m.Finish(env)
+	return m, env
+}
+
+func TestInMemoryPathMatchesReference(t *testing.T) {
+	rs := genTuples(2000, 1, 500)
+	ss := genTuples(3000, 2, 500)
+	m, env := runOOC(t, 64<<20, 8, rs, ss)
+	wantM, wantCk := refJoin(rs, ss)
+	if m.Matches() != wantM || m.Checksum() != wantCk {
+		t.Errorf("matches/checksum = %d/%#x, want %d/%#x", m.Matches(), m.Checksum(), wantM, wantCk)
+	}
+	if m.SpillWrittenBytes != 0 || env.writes != 0 {
+		t.Errorf("spilled with ample memory: %d bytes", m.SpillWrittenBytes)
+	}
+	if m.Evictions != 0 {
+		t.Errorf("evictions = %d with ample memory", m.Evictions)
+	}
+}
+
+func TestSpillPathMatchesReference(t *testing.T) {
+	rs := genTuples(5000, 3, 700)
+	ss := genTuples(5000, 4, 700)
+	// Budget fits only ~1000 tuples resident.
+	m, env := runOOC(t, 100*1000, 8, rs, ss)
+	wantM, wantCk := refJoin(rs, ss)
+	if m.Matches() != wantM || m.Checksum() != wantCk {
+		t.Errorf("matches/checksum = %d/%#x, want %d/%#x", m.Matches(), m.Checksum(), wantM, wantCk)
+	}
+	if m.Evictions == 0 || m.SpillWrittenBytes == 0 {
+		t.Error("expected evictions and spill writes under memory pressure")
+	}
+	if m.SpillReadBytes == 0 || env.reads == 0 {
+		t.Error("finish phase read nothing back")
+	}
+	if m.ResidentBytes() > 100*1000 {
+		t.Errorf("resident bytes %d exceed budget after spilling", m.ResidentBytes())
+	}
+}
+
+func TestBNLFallbackForOversizedPartition(t *testing.T) {
+	// One duplicate-heavy key: a single partition far larger than the
+	// budget forces block-nested-loop passes.
+	n := 4000
+	rs := make([]tuple.Tuple, n)
+	for i := range rs {
+		rs[i] = tuple.Tuple{Index: uint64(i), Key: 0xDEADBEEF}
+	}
+	ss := []tuple.Tuple{{Index: 9, Key: 0xDEADBEEF}, {Index: 10, Key: 42}}
+	m, _ := runOOC(t, 50*100, 4, rs, ss) // budget: 50 tuples
+	wantM, wantCk := refJoin(rs, ss)
+	if m.Matches() != wantM || m.Checksum() != wantCk {
+		t.Errorf("matches = %d, want %d", m.Matches(), wantM)
+	}
+	if m.BNLPasses == 0 {
+		t.Error("expected BNL passes for oversized partition")
+	}
+}
+
+func TestStoredBuildTuplesConservation(t *testing.T) {
+	rs := genTuples(3000, 5, 400)
+	env := &fakeEnv{}
+	m := New(space, layout(), layout(), 50*1000, 8, rt.OSUMed())
+	for _, r := range rs {
+		m.InsertBuild(env, r)
+	}
+	if got := m.StoredBuildTuples(); got != 3000 {
+		t.Errorf("stored %d of 3000 build tuples", got)
+	}
+}
+
+func TestProbeOnlySpilledPartition(t *testing.T) {
+	// Probe tuples for an evicted partition with no surviving matches must
+	// still be handled (spilled + finished) without errors.
+	rs := genTuples(2000, 6, 10) // heavy duplicates force eviction
+	ss := []tuple.Tuple{{Index: 1, Key: 0x1234567890}}
+	m, _ := runOOC(t, 30*1000, 4, rs, ss)
+	wantM, _ := refJoin(rs, ss)
+	if m.Matches() != wantM {
+		t.Errorf("matches = %d, want %d", m.Matches(), wantM)
+	}
+}
+
+func TestPartsRoundedToPowerOfTwo(t *testing.T) {
+	m := New(space, layout(), layout(), 1<<20, 5, rt.OSUMed())
+	if m.parts != 8 {
+		t.Errorf("parts = %d, want 8", m.parts)
+	}
+	for i := 0; i < 1000; i++ {
+		p := m.partOf(rand.Uint64())
+		if p < 0 || p >= 8 {
+			t.Fatalf("partition %d out of range", p)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Grace.String() != "grace" || HybridHash.String() != "hybrid-hash" {
+		t.Errorf("policy strings: %s, %s", Grace, HybridHash)
+	}
+	if Policy(9).String() != "Policy(?)" {
+		t.Error("unknown policy string")
+	}
+}
+
+// TestGraceSpillsEverythingHybridHashDoesNot contrasts the two policies:
+// after the first overflow Grace goes fully out of core, while hybrid-hash
+// keeps as much resident as fits.
+func TestGraceSpillsEverythingHybridHashDoesNot(t *testing.T) {
+	rs := genTuples(5000, 8, 900)
+	ss := genTuples(5000, 9, 900)
+	budget := int64(200 * 1000) // ~2000 tuples
+
+	run := func(p Policy) *Manager {
+		env := &fakeEnv{}
+		m := NewWithPolicy(space, layout(), layout(), budget, 8, rt.OSUMed(), p)
+		for _, r := range rs {
+			m.InsertBuild(env, r)
+		}
+		for _, s := range ss {
+			m.Probe(env, s)
+		}
+		m.Finish(env)
+		return m
+	}
+	grace := run(Grace)
+	hybrid := run(HybridHash)
+	wantM, wantCk := refJoin(rs, ss)
+	for name, m := range map[string]*Manager{"grace": grace, "hybrid-hash": hybrid} {
+		if m.Matches() != wantM || m.Checksum() != wantCk {
+			t.Errorf("%s: result %d/%#x, want %d/%#x", name, m.Matches(), m.Checksum(), wantM, wantCk)
+		}
+	}
+	if grace.ResidentBytes() != 0 {
+		t.Errorf("grace kept %d bytes resident after overflow", grace.ResidentBytes())
+	}
+	if hybrid.ResidentBytes() == 0 {
+		t.Error("hybrid-hash evicted everything")
+	}
+	if grace.SpillWrittenBytes <= hybrid.SpillWrittenBytes {
+		t.Errorf("grace wrote %d <= hybrid-hash %d; expected more disk traffic",
+			grace.SpillWrittenBytes, hybrid.SpillWrittenBytes)
+	}
+}
+
+func TestWriteBatching(t *testing.T) {
+	// Small spills accumulate; disk time is charged in batches, flushed at
+	// Finish.
+	env := &fakeEnv{}
+	m := New(space, layout(), layout(), 100, 4, rt.OSUMed()) // nothing fits
+	for i := 0; i < 10; i++ {
+		m.InsertBuild(env, tuple.Tuple{Index: uint64(i), Key: uint64(i) * 7919})
+	}
+	if m.SpillWrittenBytes == 0 {
+		t.Fatal("nothing accounted as spilled")
+	}
+	m.Finish(env)
+	if env.writes != m.SpillWrittenBytes {
+		t.Errorf("charged %d write bytes, accounted %d", env.writes, m.SpillWrittenBytes)
+	}
+}

@@ -1,0 +1,276 @@
+// Package tcpnet runs the join protocol across real OS processes: a
+// coordinator process hosts the scheduler and the data sources, and worker
+// processes host join nodes. Messages travel as gob-encoded frames over
+// TCP in a star topology (worker-to-worker traffic relays through the
+// coordinator).
+//
+// Quiescence (the Drain phase barrier) is detected with per-connection
+// counters: every worker reports, after fully draining its local queue,
+// how many messages it has processed and how many it has emitted. Because
+// reports follow the emitted messages on the same FIFO connection, the
+// coordinator observing
+//
+//	delivered(w) == processed(w)  and  received(w) == emitted(w)
+//
+// for every worker, with its own local queue empty, implies global
+// quiescence.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	rt "ehjoin/internal/runtime"
+)
+
+type frameKind uint8
+
+const (
+	frameAssign frameKind = iota + 1
+	frameMsg
+	frameReport
+	frameShutdown
+)
+
+// frame is the wire unit in both directions.
+type frame struct {
+	Kind frameKind
+
+	// frameAssign
+	CfgBlob []byte
+	IDs     []int32
+
+	// frameMsg
+	From, To int32
+	Msg      rt.Message
+
+	// frameReport (cumulative counters)
+	Processed int64
+	Emitted   int64
+}
+
+// DrainTimeout bounds a single Drain call on the coordinator.
+const DrainTimeout = 5 * time.Minute
+
+// taggedFrame is a frame annotated with its worker index for the
+// coordinator's merged inbox.
+type taggedFrame struct {
+	worker int
+	f      *frame
+	err    error
+}
+
+// workerConn is the coordinator's view of one worker.
+type workerConn struct {
+	conn      net.Conn
+	enc       *gob.Encoder
+	delivered int64 // messages the coordinator wrote to this worker
+	processed int64 // last reported processed count
+	received  int64 // messages the coordinator read from this worker
+	emitted   int64 // last reported emitted count
+}
+
+type localDelivery struct {
+	from rt.NodeID
+	to   rt.NodeID
+	msg  rt.Message
+}
+
+// Coordinator implements runtime.Engine over TCP workers.
+type Coordinator struct {
+	workers    []*workerConn
+	inbox      chan taggedFrame
+	assignment map[rt.NodeID]int // node id -> worker index
+	local      map[rt.NodeID]rt.Actor
+	queue      []localDelivery
+	start      time.Time
+	closed     bool
+}
+
+// NewCoordinator wires up accepted worker connections. assignment maps
+// node ids to indexes in conns; every unassigned registered node runs
+// locally. cfgBlob is shipped verbatim to each worker (typically
+// core.EncodeConfig output) together with its assigned node ids.
+func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Conn) (*Coordinator, error) {
+	c := &Coordinator{
+		assignment: assignment,
+		local:      make(map[rt.NodeID]rt.Actor),
+		inbox:      make(chan taggedFrame, 65536),
+		start:      time.Now(),
+	}
+	perWorker := make([][]int32, len(conns))
+	for id, w := range assignment {
+		if w < 0 || w >= len(conns) {
+			return nil, fmt.Errorf("tcpnet: node %d assigned to nonexistent worker %d", id, w)
+		}
+		perWorker[w] = append(perWorker[w], int32(id))
+	}
+	for i, conn := range conns {
+		wc := &workerConn{conn: conn, enc: gob.NewEncoder(conn)}
+		if err := wc.enc.Encode(&frame{Kind: frameAssign, CfgBlob: cfgBlob, IDs: perWorker[i]}); err != nil {
+			return nil, fmt.Errorf("tcpnet: assign worker %d: %w", i, err)
+		}
+		c.workers = append(c.workers, wc)
+		go c.readLoop(i, conn)
+	}
+	return c, nil
+}
+
+// readLoop decodes one worker's frames into the merged inbox.
+func (c *Coordinator) readLoop(i int, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		f := new(frame)
+		if err := dec.Decode(f); err != nil {
+			c.inbox <- taggedFrame{worker: i, err: err}
+			return
+		}
+		c.inbox <- taggedFrame{worker: i, f: f}
+	}
+}
+
+// Register implements runtime.Engine. Actors for remotely assigned ids are
+// discarded: the worker constructs its own instance.
+func (c *Coordinator) Register(id rt.NodeID, a rt.Actor) {
+	if _, remote := c.assignment[id]; remote {
+		return
+	}
+	if _, dup := c.local[id]; dup {
+		panic(fmt.Sprintf("tcpnet: node %d registered twice", id))
+	}
+	c.local[id] = a
+}
+
+// Inject implements runtime.Engine.
+func (c *Coordinator) Inject(to rt.NodeID, m rt.Message) {
+	c.route(rt.NoNode, to, m)
+}
+
+func (c *Coordinator) route(from, to rt.NodeID, m rt.Message) {
+	if w, remote := c.assignment[to]; remote {
+		wc := c.workers[w]
+		if err := wc.enc.Encode(&frame{Kind: frameMsg, From: int32(from), To: int32(to), Msg: m}); err != nil {
+			panic(fmt.Sprintf("tcpnet: write to worker %d: %v", w, err))
+		}
+		wc.delivered++
+		return
+	}
+	if _, ok := c.local[to]; !ok {
+		panic(fmt.Sprintf("tcpnet: message %T for unknown node %d", m, to))
+	}
+	c.queue = append(c.queue, localDelivery{from: from, to: to, msg: m})
+}
+
+// quiescent reports whether no work remains anywhere.
+func (c *Coordinator) quiescent() bool {
+	if len(c.queue) > 0 {
+		return false
+	}
+	for _, w := range c.workers {
+		if w.delivered != w.processed || w.received != w.emitted {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain implements runtime.Engine: process local deliveries and relay
+// worker traffic until global quiescence.
+func (c *Coordinator) Drain() error {
+	env := &coordEnv{c: c}
+	deadline := time.After(DrainTimeout)
+	for {
+		// Run the local queue dry first.
+		for len(c.queue) > 0 {
+			d := c.queue[0]
+			c.queue = c.queue[1:]
+			env.self = d.to
+			c.local[d.to].Receive(env, d.from, d.msg)
+			c.absorb()
+		}
+		if c.quiescent() {
+			return nil
+		}
+		// Block until a worker has something for us.
+		select {
+		case tf := <-c.inbox:
+			if err := c.apply(tf); err != nil {
+				return err
+			}
+			c.absorb()
+		case <-deadline:
+			return fmt.Errorf("tcpnet: drain timed out after %v", DrainTimeout)
+		}
+	}
+}
+
+// absorb applies every frame already queued in the inbox without blocking.
+func (c *Coordinator) absorb() {
+	for {
+		select {
+		case tf := <-c.inbox:
+			if err := c.apply(tf); err != nil {
+				// Defer the error to the quiescence check: a closed
+				// connection with outstanding counters will time out with
+				// a clear message; a clean shutdown is invisible here.
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (c *Coordinator) apply(tf taggedFrame) error {
+	if tf.err != nil {
+		if c.closed {
+			return nil
+		}
+		return fmt.Errorf("tcpnet: worker %d connection: %w", tf.worker, tf.err)
+	}
+	w := c.workers[tf.worker]
+	switch tf.f.Kind {
+	case frameMsg:
+		w.received++
+		c.route(rt.NodeID(tf.f.From), rt.NodeID(tf.f.To), tf.f.Msg)
+	case frameReport:
+		w.processed = tf.f.Processed
+		w.emitted = tf.f.Emitted
+	}
+	return nil
+}
+
+// NowSeconds implements runtime.Engine with wall-clock time.
+func (c *Coordinator) NowSeconds() float64 { return time.Since(c.start).Seconds() }
+
+// Close shuts every worker down and closes the connections.
+func (c *Coordinator) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, w := range c.workers {
+		_ = w.enc.Encode(&frame{Kind: frameShutdown})
+		_ = w.conn.Close()
+	}
+}
+
+// coordEnv implements runtime.Env for coordinator-local actors.
+type coordEnv struct {
+	c    *Coordinator
+	self rt.NodeID
+}
+
+// Now implements runtime.Env.
+func (e *coordEnv) Now() int64 { return time.Since(e.c.start).Nanoseconds() }
+
+// Send implements runtime.Env.
+func (e *coordEnv) Send(to rt.NodeID, m rt.Message) { e.c.route(e.self, to, m) }
+
+// ChargeCPU implements runtime.Env as a no-op.
+func (e *coordEnv) ChargeCPU(ns int64) {}
+
+// ChargeDisk implements runtime.Env as a no-op.
+func (e *coordEnv) ChargeDisk(bytes int64, read bool) {}

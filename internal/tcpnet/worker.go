@@ -1,0 +1,128 @@
+package tcpnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+
+	rt "ehjoin/internal/runtime"
+)
+
+// ActorFactory constructs a worker-hosted actor for one of the node ids the
+// coordinator assigned. cfgBlob is the coordinator's opaque configuration
+// (typically decoded with core.DecodeConfig).
+type ActorFactory func(cfgBlob []byte, id rt.NodeID) (rt.Actor, error)
+
+// RunWorker serves one worker process over an established connection: it
+// receives the assignment, constructs its actors, and processes messages
+// until the coordinator shuts it down or the connection closes. It returns
+// nil on clean shutdown.
+func RunWorker(conn net.Conn, factory ActorFactory) error {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var assign frame
+	if err := dec.Decode(&assign); err != nil {
+		return fmt.Errorf("tcpnet: worker read assignment: %w", err)
+	}
+	if assign.Kind != frameAssign {
+		return fmt.Errorf("tcpnet: worker expected assignment, got frame kind %d", assign.Kind)
+	}
+	w := &worker{
+		enc:    enc,
+		actors: make(map[rt.NodeID]rt.Actor),
+	}
+	for _, id := range assign.IDs {
+		a, err := factory(assign.CfgBlob, rt.NodeID(id))
+		if err != nil {
+			return fmt.Errorf("tcpnet: worker build actor %d: %w", id, err)
+		}
+		w.actors[rt.NodeID(id)] = a
+	}
+
+	for {
+		f := new(frame)
+		if err := dec.Decode(f); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("tcpnet: worker read: %w", err)
+		}
+		switch f.Kind {
+		case frameMsg:
+			// processed counts coordinator-delivered frames only; local
+			// cascades between this worker's actors drain synchronously
+			// inside drainLocal before the report goes out, so
+			// "delivered == processed" still implies no hidden work.
+			w.processed++
+			w.queue = append(w.queue, localDelivery{
+				from: rt.NodeID(f.From), to: rt.NodeID(f.To), msg: f.Msg,
+			})
+			if err := w.drainLocal(); err != nil {
+				return err
+			}
+		case frameShutdown:
+			return nil
+		default:
+			return fmt.Errorf("tcpnet: worker got unexpected frame kind %d", f.Kind)
+		}
+	}
+}
+
+// worker is the in-process state of one worker.
+type worker struct {
+	enc       *gob.Encoder
+	actors    map[rt.NodeID]rt.Actor
+	queue     []localDelivery
+	processed int64 // cumulative coordinator-delivered frames handled
+	emitted   int64 // cumulative messages written to the coordinator
+}
+
+// drainLocal processes the queue to empty (local sends between this
+// worker's actors cascade synchronously), then reports the cumulative
+// counters. Reporting only at empty-queue points keeps the coordinator's
+// quiescence predicate sound.
+func (w *worker) drainLocal() error {
+	env := &workerEnv{w: w}
+	for len(w.queue) > 0 {
+		d := w.queue[0]
+		w.queue = w.queue[1:]
+		a, ok := w.actors[d.to]
+		if !ok {
+			return fmt.Errorf("tcpnet: worker has no actor %d", d.to)
+		}
+		env.self = d.to
+		a.Receive(env, d.from, d.msg)
+	}
+	return w.enc.Encode(&frame{Kind: frameReport, Processed: w.processed, Emitted: w.emitted})
+}
+
+// workerEnv implements runtime.Env for worker-hosted actors.
+type workerEnv struct {
+	w    *worker
+	self rt.NodeID
+}
+
+// Now implements runtime.Env; workers have no shared clock, so this is a
+// monotonic local value only used for logging.
+func (e *workerEnv) Now() int64 { return e.w.processed }
+
+// Send implements runtime.Env: local destinations cascade in-process,
+// everything else goes through the coordinator.
+func (e *workerEnv) Send(to rt.NodeID, m rt.Message) {
+	if _, local := e.w.actors[to]; local {
+		e.w.queue = append(e.w.queue, localDelivery{from: e.self, to: to, msg: m})
+		return
+	}
+	if err := e.w.enc.Encode(&frame{Kind: frameMsg, From: int32(e.self), To: int32(to), Msg: m}); err != nil {
+		panic(fmt.Sprintf("tcpnet: worker write: %v", err))
+	}
+	e.w.emitted++
+}
+
+// ChargeCPU implements runtime.Env as a no-op.
+func (e *workerEnv) ChargeCPU(ns int64) {}
+
+// ChargeDisk implements runtime.Env as a no-op.
+func (e *workerEnv) ChargeDisk(bytes int64, read bool) {}

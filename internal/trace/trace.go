@@ -1,0 +1,176 @@
+// Package trace records per-node activity spans from the cluster simulator
+// and renders them as an ASCII timeline — a quick way to see where a join's
+// virtual time goes: which nodes were busy when, how the build wave hands
+// over to the probe wave, where a hot node serialises everything behind it.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	rt "ehjoin/internal/runtime"
+)
+
+// Span is one processed message: node busy from Start to End (virtual ns).
+type Span struct {
+	Node  rt.NodeID
+	Kind  string
+	Start int64
+	End   int64
+}
+
+// Recorder accumulates spans. A cap bounds memory on large runs; aggregate
+// totals keep counting after the cap is reached.
+type Recorder struct {
+	MaxSpans int // 0 means DefaultMaxSpans
+
+	spans   []Span
+	dropped int64
+	// totals aggregates busy time per node and per message kind.
+	nodeBusy map[rt.NodeID]int64
+	kindBusy map[string]int64
+	maxEnd   int64
+}
+
+// DefaultMaxSpans bounds the retained span list.
+const DefaultMaxSpans = 200_000
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		nodeBusy: make(map[rt.NodeID]int64),
+		kindBusy: make(map[string]int64),
+	}
+}
+
+// Record implements the simulator's observer hook.
+func (r *Recorder) Record(node rt.NodeID, kind string, start, end int64) {
+	if end > r.maxEnd {
+		r.maxEnd = end
+	}
+	r.nodeBusy[node] += end - start
+	r.kindBusy[kind] += end - start
+	limit := r.MaxSpans
+	if limit == 0 {
+		limit = DefaultMaxSpans
+	}
+	if len(r.spans) >= limit {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, Span{Node: node, Kind: kind, Start: start, End: end})
+}
+
+// Spans returns the retained spans in record order.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Dropped reports how many spans exceeded the retention cap (their time is
+// still aggregated).
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// BusyByKind returns total busy time per message kind, descending.
+func (r *Recorder) BusyByKind() []KindBusy {
+	out := make([]KindBusy, 0, len(r.kindBusy))
+	for k, ns := range r.kindBusy {
+		out = append(out, KindBusy{Kind: k, Seconds: float64(ns) / 1e9})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// KindBusy is aggregate busy time attributed to one message kind.
+type KindBusy struct {
+	Kind    string
+	Seconds float64
+}
+
+// shade maps a utilisation fraction to a density character.
+var shade = []byte(" .:-=+*#%@")
+
+// Timeline renders per-node utilisation over time as width columns, one row
+// per node that did any work, ordered by node id. Each cell shades the
+// fraction of that time slice the node spent busy.
+func (r *Recorder) Timeline(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if r.maxEnd == 0 || len(r.spans) == 0 {
+		return "(no activity recorded)\n"
+	}
+	nodes := make([]rt.NodeID, 0, len(r.nodeBusy))
+	for n, busy := range r.nodeBusy {
+		if busy > 0 {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	row := make(map[rt.NodeID]int, len(nodes))
+	for i, n := range nodes {
+		row[n] = i
+	}
+
+	slice := float64(r.maxEnd) / float64(width)
+	busy := make([][]float64, len(nodes))
+	for i := range busy {
+		busy[i] = make([]float64, width)
+	}
+	for _, s := range r.spans {
+		i, ok := row[s.Node]
+		if !ok {
+			continue
+		}
+		// Distribute the span's time across the slices it overlaps.
+		for c := int(float64(s.Start) / slice); c < width; c++ {
+			lo := float64(c) * slice
+			hi := lo + slice
+			overlap := min64f(float64(s.End), hi) - max64f(float64(s.Start), lo)
+			if overlap <= 0 {
+				break
+			}
+			busy[i][c] += overlap
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual time 0 .. %.2fs, %d slices of %.3fs (legend: '%s' = idle..saturated)\n",
+		float64(r.maxEnd)/1e9, width, slice/1e9, string(shade))
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "node %4d |", n)
+		for c := 0; c < width; c++ {
+			frac := busy[i][c] / slice
+			idx := int(frac * float64(len(shade)))
+			if idx >= len(shade) {
+				idx = len(shade) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteByte(shade[idx])
+		}
+		fmt.Fprintf(&b, "| %.2fs\n", float64(r.nodeBusy[n])/1e9)
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "(%d spans beyond the retention cap are aggregated but not drawn)\n", r.dropped)
+	}
+	return b.String()
+}
+
+func min64f(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64f(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

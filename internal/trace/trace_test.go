@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderAggregates(t *testing.T) {
+	r := NewRecorder()
+	r.Record(1, "*core.dataChunk", 0, 100)
+	r.Record(1, "*core.dataChunk", 100, 300)
+	r.Record(2, "*core.genStep", 50, 150)
+	kinds := r.BusyByKind()
+	if len(kinds) != 2 {
+		t.Fatalf("kinds: %v", kinds)
+	}
+	if kinds[0].Kind != "*core.dataChunk" || kinds[0].Seconds != 300e-9 {
+		t.Errorf("top kind %v", kinds[0])
+	}
+	if len(r.Spans()) != 3 {
+		t.Errorf("spans retained: %d", len(r.Spans()))
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := NewRecorder()
+	r.MaxSpans = 3
+	for i := int64(0); i < 10; i++ {
+		r.Record(1, "k", i*10, i*10+5)
+	}
+	if len(r.Spans()) != 3 {
+		t.Errorf("retained %d spans, want 3", len(r.Spans()))
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("dropped %d, want 7", r.Dropped())
+	}
+	// Aggregates still count everything.
+	if got := r.BusyByKind()[0].Seconds; got != 50e-9 {
+		t.Errorf("aggregate %v, want 50ns", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := NewRecorder()
+	// Node 1 busy for the first half, node 2 for the second half.
+	r.Record(1, "a", 0, 500)
+	r.Record(2, "b", 500, 1000)
+	out := r.Timeline(10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines:\n%s", out)
+	}
+	row1 := lines[1][strings.Index(lines[1], "|")+1:]
+	row1 = row1[:10]
+	row2 := lines[2][strings.Index(lines[2], "|")+1:]
+	row2 = row2[:10]
+	if row1[:5] != "@@@@@" || strings.TrimSpace(row1[5:]) != "" {
+		t.Errorf("node 1 row %q: want saturated first half", row1)
+	}
+	if strings.TrimSpace(row2[:5]) != "" || row2[5:] != "@@@@@" {
+		t.Errorf("node 2 row %q: want saturated second half", row2)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	r := NewRecorder()
+	if got := r.Timeline(10); !strings.Contains(got, "no activity") {
+		t.Errorf("empty timeline: %q", got)
+	}
+}
+
+func TestTimelineDefaultsWidth(t *testing.T) {
+	r := NewRecorder()
+	r.Record(1, "a", 0, 100)
+	out := r.Timeline(0)
+	if !strings.Contains(out, "80 slices") {
+		t.Errorf("default width not applied:\n%s", out)
+	}
+}

@@ -1,0 +1,89 @@
+package tuple
+
+// DefaultChunkTuples is the number of tuples per communication chunk. The
+// paper's communication-volume figures (4 and 11) report volume in chunks of
+// 10 000 tuples.
+const DefaultChunkTuples = 10000
+
+// Chunk is a batch of tuples from one relation travelling between a data
+// source (or a forwarding join node) and a join node. Chunks are the unit of
+// buffering and of communication accounting.
+type Chunk struct {
+	Rel    Relation
+	Tuples []Tuple
+	// Layout records the logical tuple shape so receivers can account
+	// memory and the network can charge transfer time.
+	Layout Layout
+}
+
+// LogicalBytes returns the number of bytes this chunk occupies on the wire
+// and in hash-table memory accounting.
+func (c *Chunk) LogicalBytes() int {
+	return len(c.Tuples) * c.Layout.LogicalSize()
+}
+
+// Builder accumulates tuples destined for a single receiver and cuts them
+// into fixed-size chunks, mirroring the per-join-process buffers kept by the
+// paper's data sources (§4.1.2).
+type Builder struct {
+	rel       Relation
+	layout    Layout
+	chunkSize int
+	pending   []Tuple
+}
+
+// NewBuilder returns a Builder producing chunks of at most chunkSize tuples.
+func NewBuilder(rel Relation, layout Layout, chunkSize int) *Builder {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkTuples
+	}
+	return &Builder{rel: rel, layout: layout, chunkSize: chunkSize}
+}
+
+// Add appends one tuple. If the buffer reaches the chunk size, the filled
+// chunk is returned and the buffer reset; otherwise Add returns nil.
+func (b *Builder) Add(t Tuple) *Chunk {
+	if b.pending == nil {
+		b.pending = make([]Tuple, 0, b.chunkSize)
+	}
+	b.pending = append(b.pending, t)
+	if len(b.pending) == b.chunkSize {
+		return b.cut()
+	}
+	return nil
+}
+
+// Flush returns any partially filled chunk, or nil if the buffer is empty.
+func (b *Builder) Flush() *Chunk {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	return b.cut()
+}
+
+// Len reports the number of buffered (not yet cut) tuples.
+func (b *Builder) Len() int { return len(b.pending) }
+
+func (b *Builder) cut() *Chunk {
+	c := &Chunk{Rel: b.rel, Tuples: b.pending, Layout: b.layout}
+	b.pending = nil
+	return c
+}
+
+// Split partitions the chunk's tuples by a classifier function into new
+// chunks, one per distinct class in ascending class order. It is used when a
+// join node must forward only the portion of a chunk that belongs to another
+// node after a split (§4.1.3).
+func (c *Chunk) Split(classOf func(Tuple) int) map[int]*Chunk {
+	out := make(map[int]*Chunk)
+	for _, t := range c.Tuples {
+		k := classOf(t)
+		part := out[k]
+		if part == nil {
+			part = &Chunk{Rel: c.Rel, Layout: c.Layout}
+			out[k] = part
+		}
+		part.Tuples = append(part.Tuples, t)
+	}
+	return out
+}
