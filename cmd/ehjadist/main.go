@@ -19,6 +19,8 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"strconv"
+	"strings"
 	"time"
 
 	"ehjoin/internal/core"
@@ -40,6 +42,8 @@ func main() {
 		rTuples  = flag.Int64("r", 200_000, "build relation cardinality")
 		sTuples  = flag.Int64("s", 200_000, "probe relation cardinality")
 		budget   = flag.Int64("budget", 4<<20, "per-node hash memory budget in bytes")
+		kill     = flag.String("kill", "", "kill spawned worker W at T seconds wall time, format W@T (fault-injection demo; needs -spawn)")
+		recover_ = flag.Bool("recover", false, "survive worker deaths: re-stream lost state via the scheduler instead of aborting")
 	)
 	flag.Parse()
 
@@ -73,6 +77,21 @@ func main() {
 		Build:         datagen.Spec{Dist: datagen.Uniform, Tuples: *rTuples, Seed: 1},
 		Probe:         datagen.Spec{Dist: datagen.Uniform, Tuples: *sTuples, Seed: 2},
 		MatchFraction: 1.0,
+	}
+
+	killWorker, killAfter := -1, time.Duration(0)
+	if *kill != "" {
+		w, after, err := parseKill(*kill)
+		if err != nil {
+			fatal(err)
+		}
+		if !*spawn {
+			fatal(fmt.Errorf("-kill %s: needs -spawn (only self-spawned workers can be killed)", *kill))
+		}
+		if w < 0 || w >= *workers {
+			fatal(fmt.Errorf("-kill %s: no spawned worker %d (have %d)", *kill, w, *workers))
+		}
+		killWorker, killAfter = w, after
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -121,9 +140,33 @@ func main() {
 		assignment[id] = i % *workers
 	}
 
-	coord, err := tcpnet.NewCoordinator(blob, assignment, conns)
+	var coord *tcpnet.Coordinator
+	var opts []tcpnet.Option
+	if *recover_ {
+		schedID, err := core.SchedulerNodeID(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		// The handler runs inside the coordinator's Drain loop, after
+		// NewCoordinator has returned, so the closure over coord is safe.
+		opts = append(opts, tcpnet.WithFailureHandler(func(w int, nodes []rt.NodeID, cause error) {
+			fmt.Fprintf(os.Stderr, "ehjadist: worker %d failed (%v); recovering %d node(s)\n",
+				w, cause, len(nodes))
+			for _, n := range nodes {
+				coord.Inject(schedID, core.NodeDeadMessage(n))
+			}
+		}))
+	}
+	coord, err = tcpnet.NewCoordinator(blob, assignment, conns, opts...)
 	if err != nil {
 		fatal(err)
+	}
+	if killWorker >= 0 {
+		w := killWorker
+		time.AfterFunc(killAfter, func() {
+			fmt.Fprintf(os.Stderr, "ehjadist: killing worker %d (fault injection)\n", w)
+			_ = procs[w].Process.Kill()
+		})
 	}
 	start := time.Now()
 	report, err := core.Execute(cfg, coord)
@@ -138,6 +181,31 @@ func main() {
 		report.Matches, report.Checksum, *workers, time.Since(start).Seconds())
 	fmt.Printf("ehjadist: nodes %d -> %d, splits %d, replications %d\n",
 		report.InitialNodes, report.FinalNodes, report.Splits, report.Replications)
+	if report.NodesLost > 0 {
+		fmt.Printf("ehjadist: lost %d node(s), recovered %d in %.3fs, re-streamed %d chunks (%d tuples)\n",
+			report.NodesLost, report.NodesRecovered, report.RecoverySec,
+			report.RestreamedChunks, report.RestreamedTuples)
+		if report.Degraded {
+			fmt.Println("ehjadist: DEGRADED — result may be incomplete")
+		}
+	}
+}
+
+// parseKill parses a "W@T" fault spec: worker index and wall-clock seconds.
+func parseKill(s string) (worker int, after time.Duration, err error) {
+	w, t, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("-kill %q: want W@T (e.g. 1@0.5)", s)
+	}
+	worker, err = strconv.Atoi(w)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-kill %q: bad worker index: %v", s, err)
+	}
+	sec, err := strconv.ParseFloat(t, 64)
+	if err != nil || sec < 0 {
+		return 0, 0, fmt.Errorf("-kill %q: bad kill time %q", s, t)
+	}
+	return worker, time.Duration(sec * float64(time.Second)), nil
 }
 
 func runWorker(connect string) {

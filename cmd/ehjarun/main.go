@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ehjoin/internal/core"
@@ -35,6 +37,36 @@ func parseAlg(s string) (core.Algorithm, error) {
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q (split|replication|hybrid|ooc)", s)
 	}
+}
+
+// parseFaults parses the -faults value: a comma-separated list of
+// "NODE@ATSEC" or "NODE@ATSEC:DETECTSEC" crash specs, e.g. "0@1.5,3@2:0.05".
+func parseFaults(s string) (core.FaultPlan, error) {
+	var plan core.FaultPlan
+	for _, part := range strings.Split(s, ",") {
+		spec := strings.TrimSpace(part)
+		node, rest, ok := strings.Cut(spec, "@")
+		if !ok {
+			return plan, fmt.Errorf("fault %q: want NODE@ATSEC[:DETECTSEC]", spec)
+		}
+		n, err := strconv.Atoi(node)
+		if err != nil {
+			return plan, fmt.Errorf("fault %q: bad node index: %v", spec, err)
+		}
+		atStr, detStr, hasDet := strings.Cut(rest, ":")
+		at, err := strconv.ParseFloat(atStr, 64)
+		if err != nil {
+			return plan, fmt.Errorf("fault %q: bad crash time: %v", spec, err)
+		}
+		var det float64
+		if hasDet {
+			if det, err = strconv.ParseFloat(detStr, 64); err != nil {
+				return plan, fmt.Errorf("fault %q: bad detection delay: %v", spec, err)
+			}
+		}
+		plan.Faults = append(plan.Faults, core.Fault{JoinNode: n, AtSec: at, DetectSec: det})
+	}
+	return plan, nil
 }
 
 func parseDist(s string) (datagen.Dist, error) {
@@ -69,6 +101,7 @@ func main() {
 		hashMode    = flag.String("hash", "scaled", "position hashing: scaled (order-preserving) or multiplicative (mixing)")
 		timeline    = flag.Bool("timeline", false, "render a per-node virtual-time utilisation timeline")
 		materialize = flag.Bool("materialize", false, "retain join output in memory; probe-phase expansion applies (paper footnote 1)")
+		faults      = flag.String("faults", "", "crash join nodes at virtual times: NODE@ATSEC[:DETECTSEC],... (e.g. 0@1.5,3@2:0.05)")
 	)
 	flag.Parse()
 
@@ -128,6 +161,17 @@ func main() {
 		rec = trace.NewRecorder()
 		eng.Trace = rec
 	}
+	if *faults != "" {
+		plan, err := parseFaults(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ehjarun:", err)
+			os.Exit(2)
+		}
+		if err := core.ApplyFaultPlan(cfg, eng, plan); err != nil {
+			fmt.Fprintln(os.Stderr, "ehjarun:", err)
+			os.Exit(2)
+		}
+	}
 	r, err := core.Execute(cfg, eng)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ehjarun:", err)
@@ -137,6 +181,15 @@ func main() {
 	fmt.Printf("wire: %.1f MB in %d messages; spill: %d MB written, %d MB read; wall clock %.1fs\n",
 		float64(r.WireBytes)/(1<<20), r.Messages,
 		r.SpillWrittenBytes>>20, r.SpillReadBytes>>20, time.Since(wall).Seconds())
+	if r.NodesLost > 0 {
+		fmt.Printf("recovery: %d node(s) lost, %d recovered exactly in %.3fs; "+
+			"re-streamed %d chunks (%d tuples), purged %d surviving copies, dropped %d stale in-flight\n",
+			r.NodesLost, r.NodesRecovered, r.RecoverySec,
+			r.RestreamedChunks, r.RestreamedTuples, r.PurgedTuples, r.DroppedStaleTuples)
+		if r.Degraded {
+			fmt.Println("recovery: DEGRADED — some losses were unrecoverable; result may be incomplete")
+		}
+	}
 	if *verbose {
 		for i, l := range r.NodeLoads {
 			var util string

@@ -60,6 +60,8 @@ type joinActor struct {
 	strayBuild    int64 // build tuples that arrived outside the owned range
 	forwarded     int64 // matches forwarded to the next pipeline stage
 	forwardCopies int64 // forwarded sends including broadcast copies
+	purged        int64 // tuples discarded by failure-recovery purges
+	droppedStale  int64 // stale tuples discarded at re-stream barriers
 }
 
 func newJoin(cfg Config, id rt.NodeID) *joinActor {
@@ -97,9 +99,9 @@ func (j *joinActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 		}
 		for _, p := range j.preInit {
 			if p.migrated {
-				j.onMoveTuples(env, p.chunk)
+				j.onMoveTuples(env, p.chunk, p.version)
 			} else {
-				j.dispatchChunk(env, p.chunk)
+				j.dispatchChunk(env, p.chunk, p.version)
 			}
 		}
 		j.preInit = nil
@@ -109,19 +111,21 @@ func (j *joinActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 			env.Send(msg.Origin, &chunkAck{Rel: msg.Chunk.Rel})
 		}
 		if !j.active {
-			j.preInit = append(j.preInit, preInitChunk{chunk: msg.Chunk})
+			j.preInit = append(j.preInit, preInitChunk{chunk: msg.Chunk, version: msg.Version})
 			return
 		}
-		j.dispatchChunk(env, msg.Chunk)
+		j.dispatchChunk(env, msg.Chunk, msg.Version)
 	case *moveTuples:
 		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
 		if !j.active {
-			j.preInit = append(j.preInit, preInitChunk{chunk: msg.Chunk, migrated: true})
+			j.preInit = append(j.preInit, preInitChunk{chunk: msg.Chunk, version: msg.Version, migrated: true})
 			return
 		}
-		j.onMoveTuples(env, msg.Chunk)
+		j.onMoveTuples(env, msg.Chunk, msg.Version)
 	case *splitOrder:
 		j.onSplit(env, msg)
+	case *purgeRange:
+		j.onPurgeRange(env, msg)
 	case *retire:
 		j.retired = true
 		j.forwardTo = msg.ForwardTo
@@ -212,6 +216,8 @@ func (j *joinActor) snapshot() *joinStats {
 		Forwarded:       j.forwarded,
 		ForwardedCopies: j.forwardCopies,
 		NoMoreNodes:     j.noMoreNodes,
+		Purged:          j.purged,
+		DroppedStale:    j.droppedStale,
 	}
 	if j.spill != nil {
 		s.SpillWrittenBytes = j.spill.SpillWrittenBytes
@@ -224,17 +230,69 @@ func (j *joinActor) snapshot() *joinStats {
 // preInitChunk is a chunk buffered before the node was initialised.
 type preInitChunk struct {
 	chunk    *tuple.Chunk
-	migrated bool // arrived as a moveTuples migration
+	version  uint64 // routing-table version the chunk was routed under
+	migrated bool   // arrived as a moveTuples migration
+}
+
+// onPurgeRange executes a failure-recovery purge: this node's copy of the
+// range is discarded (the range is being rebuilt from the sources at
+// NewOwner). If this node is the new owner it (re)starts as the range's
+// active owner; otherwise it retires and forwards stragglers there.
+func (j *joinActor) onPurgeRange(env rt.Env, msg *purgeRange) {
+	env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+	dropped := j.table.ExtractRange(msg.Range)
+	env.ChargeCPU(j.cfg.Cost.MoveNs * int64(len(dropped)))
+	j.purged += int64(len(dropped))
+	j.updateRoute(msg.Table)
+	if msg.NewOwner == j.id {
+		j.active = true
+		j.rng = msg.Range
+		j.retired = false
+		j.forwardTo = rt.NoNode
+		j.lastReport = 0 // restarting empty; future overflows report afresh
+	} else {
+		j.retired = true
+		j.forwardTo = msg.NewOwner
+	}
+}
+
+// filterStale drops build tuples invalidated by a re-stream barrier: the
+// chunk was routed under routing-table version v, and a range rebuilt after
+// a failure accepts only tuples routed at or after the rebuild's version
+// (the sources re-stream the authoritative copies). Returns nil when
+// nothing survives.
+func (j *joinActor) filterStale(c *tuple.Chunk, v uint64) *tuple.Chunk {
+	if j.route == nil || len(j.route.Barriers) == 0 {
+		return c
+	}
+	kept := make([]tuple.Tuple, 0, len(c.Tuples))
+	for _, t := range c.Tuples {
+		if j.route.StaleInBarrier(j.cfg.Space.PositionOf(t.Key), v) {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if len(kept) == len(c.Tuples) {
+		return c
+	}
+	j.droppedStale += int64(len(c.Tuples) - len(kept))
+	if len(kept) == 0 {
+		return nil
+	}
+	return &tuple.Chunk{Rel: c.Rel, Layout: c.Layout, Tuples: kept}
 }
 
 // onMoveTuples absorbs migrated tuples (split migration or reshuffle
 // redistribution).
-func (j *joinActor) onMoveTuples(env rt.Env, c *tuple.Chunk) {
+func (j *joinActor) onMoveTuples(env rt.Env, c *tuple.Chunk, v uint64) {
+	if c = j.filterStale(c, v); c == nil {
+		return
+	}
 	j.movedIn += int64(len(c.Tuples))
 	if j.cfg.Algorithm == Split {
 		// This node's range may have been split again while the migration
 		// was in flight; re-forward any strays.
-		j.insertOrForward(env, c)
+		j.insertOrForward(env, c, v)
 	} else {
 		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(c.Tuples)))
 		j.table.InsertChunk(c)
@@ -243,17 +301,20 @@ func (j *joinActor) onMoveTuples(env rt.Env, c *tuple.Chunk) {
 }
 
 // dispatchChunk routes an arriving chunk to the build or probe path.
-func (j *joinActor) dispatchChunk(env rt.Env, c *tuple.Chunk) {
+func (j *joinActor) dispatchChunk(env rt.Env, c *tuple.Chunk, v uint64) {
 	if c.Rel == tuple.RelR {
-		j.onBuildChunk(env, c)
+		j.onBuildChunk(env, c, v)
 	} else {
 		j.onProbeChunk(env, c)
 	}
 }
 
 // onBuildChunk inserts (or spills, or forwards) one arriving build chunk.
-func (j *joinActor) onBuildChunk(env rt.Env, c *tuple.Chunk) {
+func (j *joinActor) onBuildChunk(env rt.Env, c *tuple.Chunk, v uint64) {
 	j.buildChunks++
+	if c = j.filterStale(c, v); c == nil {
+		return
+	}
 	if j.spill != nil { // out-of-core baseline
 		for _, t := range c.Tuples {
 			j.spill.InsertBuild(env, t)
@@ -273,12 +334,12 @@ func (j *joinActor) onBuildChunk(env rt.Env, c *tuple.Chunk) {
 			}
 		}
 		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
-		env.Send(dest, &dataChunk{Chunk: c, Origin: rt.NoNode, Forwarded: true})
+		env.Send(dest, &dataChunk{Chunk: c, Origin: rt.NoNode, Forwarded: true, Version: v})
 		j.fwdChunks++
 		return
 	}
 	if j.cfg.Algorithm == Split {
-		j.insertOrForward(env, c)
+		j.insertOrForward(env, c, v)
 	} else {
 		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(c.Tuples)))
 		j.table.InsertChunk(c)
@@ -288,8 +349,10 @@ func (j *joinActor) onBuildChunk(env rt.Env, c *tuple.Chunk) {
 
 // insertOrForward inserts the tuples belonging to this node's range and
 // re-routes strays (tuples sent under a routing table that predates one or
-// more splits) to their current owners.
-func (j *joinActor) insertOrForward(env rt.Env, c *tuple.Chunk) {
+// more splits) to their current owners. Forwards keep the chunk's original
+// routing version v, so re-stream barriers apply wherever a stale tuple
+// finally surfaces.
+func (j *joinActor) insertOrForward(env rt.Env, c *tuple.Chunk, v uint64) {
 	var strays map[rt.NodeID]*tuple.Builder
 	inserted := 0
 	for _, t := range c.Tuples {
@@ -318,20 +381,20 @@ func (j *joinActor) insertOrForward(env rt.Env, c *tuple.Chunk) {
 		}
 		env.ChargeCPU(j.cfg.Cost.MoveNs)
 		if full := b.Add(t); full != nil {
-			j.sendForward(env, dest, full)
+			j.sendForward(env, dest, full, v)
 		}
 	}
 	env.ChargeCPU(j.cfg.Cost.BuildNs * int64(inserted))
 	for _, dest := range sortedNodeIDs(strays) {
 		if part := strays[dest].Flush(); part != nil {
-			j.sendForward(env, dest, part)
+			j.sendForward(env, dest, part, v)
 		}
 	}
 }
 
-func (j *joinActor) sendForward(env rt.Env, dest rt.NodeID, c *tuple.Chunk) {
+func (j *joinActor) sendForward(env rt.Env, dest rt.NodeID, c *tuple.Chunk, v uint64) {
 	env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
-	env.Send(dest, &dataChunk{Chunk: c, Origin: rt.NoNode, Forwarded: true})
+	env.Send(dest, &dataChunk{Chunk: c, Origin: rt.NoNode, Forwarded: true, Version: v})
 	j.fwdChunks++
 }
 
@@ -380,8 +443,13 @@ func (j *joinActor) onSplit(env rt.Env, msg *splitOrder) {
 	env.Send(j.cfg.schedulerID(), &splitDone{MovedTuples: int64(len(moved))})
 }
 
-// shipTuples sends migrated tuples in chunk-sized moveTuples messages.
+// shipTuples sends migrated tuples in chunk-sized moveTuples messages,
+// stamped with the sender's routing-table version for barrier filtering.
 func (j *joinActor) shipTuples(env rt.Env, dest rt.NodeID, ts []tuple.Tuple, layout tuple.Layout) {
+	var ver uint64
+	if j.route != nil {
+		ver = j.route.Version
+	}
 	for lo := 0; lo < len(ts); lo += j.cfg.ChunkTuples {
 		hi := lo + j.cfg.ChunkTuples
 		if hi > len(ts) {
@@ -389,7 +457,7 @@ func (j *joinActor) shipTuples(env rt.Env, dest rt.NodeID, ts []tuple.Tuple, lay
 		}
 		chunk := &tuple.Chunk{Rel: tuple.RelR, Layout: layout, Tuples: ts[lo:hi]}
 		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
-		env.Send(dest, &moveTuples{Chunk: chunk})
+		env.Send(dest, &moveTuples{Chunk: chunk, Version: ver})
 	}
 }
 

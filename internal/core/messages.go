@@ -34,6 +34,10 @@ type dataChunk struct {
 	// Forwarded marks chunks re-sent by a join node (pending buffers of a
 	// full node, or strays after a split).
 	Forwarded bool
+	// Version is the routing-table version the chunk was originally routed
+	// under. Forwarding preserves it, so re-stream barriers (node-failure
+	// recovery) can discard stale copies wherever they surface.
+	Version uint64
 }
 
 func (m *dataChunk) WireSize() int { return 16 + m.Chunk.LogicalBytes() }
@@ -113,9 +117,12 @@ type routeUpdate struct {
 func (m *routeUpdate) WireSize() int { return ctrlBytes + tableWireBytes(m.Table) }
 
 // moveTuples carries migrated tuples (split migration or reshuffle
-// redistribution) between join nodes.
+// redistribution) between join nodes. Version is the sender's routing-table
+// version, so migrations issued before a failure-recovery barrier can be
+// discarded by the recipient.
 type moveTuples struct {
-	Chunk *tuple.Chunk
+	Chunk   *tuple.Chunk
+	Version uint64
 }
 
 func (m *moveTuples) WireSize() int { return 16 + m.Chunk.LogicalBytes() }
@@ -211,6 +218,51 @@ type setForward struct {
 
 func (m *setForward) WireSize() int { return ctrlBytes + tableWireBytes(m.NextTable) }
 
+// nodeDead tells the scheduler a join node has been declared failed —
+// injected by whatever detects the failure: the simulator's fault plan, or
+// the TCP coordinator's heartbeat/connection monitoring. During the build
+// phase the scheduler recovers by recruiting a replacement and re-streaming
+// the lost ranges; afterwards it degrades to the surviving replicas.
+type nodeDead struct {
+	Node rt.NodeID
+}
+
+func (*nodeDead) WireSize() int { return ctrlBytes }
+
+// purgeRange (scheduler -> chain member, during failure recovery) discards
+// the member's tuples in Range: the range is being rebuilt from scratch at
+// NewOwner via source re-streaming, and which tuples each chain member held
+// is timing-dependent, so exact recovery rebuilds the whole range. If
+// NewOwner is the recipient itself it becomes the range's active owner;
+// otherwise it retires and forwards stragglers to NewOwner.
+type purgeRange struct {
+	Range    hashfn.Range
+	NewOwner rt.NodeID
+	Table    *hashfn.Table
+}
+
+func (m *purgeRange) WireSize() int { return ctrlBytes + tableWireBytes(m.Table) }
+
+// replayRange (scheduler -> every data source, during failure recovery)
+// asks the source to re-generate the already-streamed prefix of its build
+// slice and re-send the tuples hashing into Range. Generation is
+// counter-based and deterministic, so the replay is exact.
+type replayRange struct {
+	Range hashfn.Range
+	Table *hashfn.Table
+}
+
+func (m *replayRange) WireSize() int { return ctrlBytes + tableWireBytes(m.Table) }
+
+// replayDone reports one source's finished replay with the volume it
+// re-streamed.
+type replayDone struct {
+	Chunks int64
+	Tuples int64
+}
+
+func (*replayDone) WireSize() int { return ctrlBytes }
+
 // collectStats (injected by the orchestrator after the final phase) makes
 // the scheduler gather per-node statistics from every source and join node.
 type collectStats struct{}
@@ -241,6 +293,8 @@ type joinStats struct {
 	SpillWrittenBytes int64
 	SpillReadBytes    int64
 	BNLPasses         int64
+	Purged            int64 // tuples discarded by failure-recovery purges
+	DroppedStale      int64 // stale tuples discarded at re-stream barriers
 }
 
 func (*joinStats) WireSize() int { return 128 }
@@ -261,5 +315,5 @@ func tableWireBytes(t *hashfn.Table) int {
 	for _, e := range t.Entries {
 		n += 12 + 4*len(e.Owners)
 	}
-	return n
+	return n + 4*len(t.Dead) + 24*len(t.Barriers)
 }

@@ -68,6 +68,23 @@ type Report struct {
 	SpillReadBytes    int64
 	BNLPasses         int64
 
+	// Failure-recovery activity (fault-injected or real failures).
+	NodesLost      int64 // join nodes declared dead during the run
+	NodesRecovered int64 // deaths recovered exactly by re-streaming
+	// RecoverySec is the cumulative time from each death's declaration until
+	// every source finished re-generating the lost ranges.
+	RecoverySec      float64
+	RestreamedChunks int64 // chunks re-sent by source replays
+	RestreamedTuples int64 // tuples re-sent by source replays
+	PurgedTuples     int64 // tuples discarded from surviving replicas
+	// DroppedStaleTuples counts in-flight copies discarded at re-stream
+	// barriers to preserve the stored-exactly-once invariant.
+	DroppedStaleTuples int64
+	// Degraded is set when a death could not be recovered exactly (probe or
+	// reshuffle phase, out-of-core baseline, or resource exhaustion); the
+	// result may be incomplete and conservation checks are skipped.
+	Degraded bool
+
 	// Transport totals (simulator only; zero on live engines).
 	WireBytes int64
 	Messages  int64
@@ -94,6 +111,13 @@ func (r *Report) String() string {
 	if r.ProbeExpansions > 0 {
 		s += fmt.Sprintf(" probe-expansions %d (output %d MB)",
 			r.ProbeExpansions, r.OutputBytes>>20)
+	}
+	if r.NodesLost > 0 {
+		s += fmt.Sprintf(" lost %d recovered %d recovery %.3fs re-streamed %d chunks (%d tuples)",
+			r.NodesLost, r.NodesRecovered, r.RecoverySec, r.RestreamedChunks, r.RestreamedTuples)
+		if r.Degraded {
+			s += " DEGRADED"
+		}
 	}
 	return s
 }

@@ -45,11 +45,30 @@ type schedActor struct {
 
 	sourcesDone int
 
+	// Failure-recovery state (nodeDead handling). footprints records each
+	// node's hash range at activation: ranges only shrink during the build
+	// phase (splits), so a node can only ever have held — or have had in
+	// flight toward it, under any stale table version — tuples inside its
+	// activation range. Recovery must rebuild that whole footprint, not
+	// just the node's current entry.
+	footprints      map[rt.NodeID]hashfn.Range
+	deadNodes       map[rt.NodeID]bool
+	pendingSplit    pendingSplitState
+	pendingReplays  int   // outstanding replayDone acknowledgements
+	recoveryStartNs int64 // -1 when no recovery is in progress
+	degraded        bool  // a death could not be recovered exactly
+	recoveryFailed  bool  // a sole-owner range was lost outright
+
 	// Stats.
-	splits          int64
-	replications    int64
-	probeExpansions int64
-	splitMoved      int64 // tuples migrated by splits (reported via splitDone)
+	splits           int64
+	replications     int64
+	probeExpansions  int64
+	splitMoved       int64 // tuples migrated by splits (reported via splitDone)
+	nodesLost        int64
+	nodesRecovered   int64
+	recoveryNs       int64
+	restreamedChunks int64
+	restreamedTuples int64
 
 	// Collected per-node statistics (populated by the collectStats round).
 	joinStats   map[rt.NodeID]*joinStats
@@ -65,7 +84,22 @@ type groupState struct {
 	got     int
 }
 
+// pendingSplitState tracks the single split in flight under the barrier
+// split pointer, so that a crash of either party releases the barrier
+// instead of wedging the split protocol forever.
+type pendingSplitState struct {
+	active  bool
+	victim  rt.NodeID
+	newNode rt.NodeID
+}
+
 func newScheduler(cfg Config, table *hashfn.Table, working, potential []rt.NodeID) *schedActor {
+	fp := make(map[rt.NodeID]hashfn.Range, len(working))
+	for i, w := range working {
+		if i < len(table.Entries) {
+			fp[w] = table.Entries[i].Range
+		}
+	}
 	return &schedActor{
 		cfg:          cfg,
 		id:           cfg.schedulerID(),
@@ -76,18 +110,33 @@ func newScheduler(cfg Config, table *hashfn.Table, working, potential []rt.NodeI
 		fullSet:      make(map[rt.NodeID]bool),
 		probeFullSet: make(map[rt.NodeID]bool),
 		queuedNode:   make(map[rt.NodeID]bool),
+		deadNodes:    make(map[rt.NodeID]bool),
+		footprints:   fp,
+
+		recoveryStartNs: -1,
 	}
 }
 
 // Receive implements runtime.Actor.
 func (sc *schedActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
+	if sc.deadNodes[from] {
+		return // a straggler from a node already declared dead
+	}
 	switch msg := m.(type) {
 	case *memFull:
 		sc.onMemFull(env, from)
 	case *splitDone:
 		sc.splitMoved += msg.MovedTuples
+		sc.pendingSplit = pendingSplitState{}
 		sc.splitter.Completed()
 		sc.issueSplits(env)
+	case *nodeDead:
+		sc.onNodeDead(env, msg.Node)
+	case *replayDone:
+		sc.restreamedChunks += msg.Chunks
+		sc.restreamedTuples += msg.Tuples
+		sc.pendingReplays--
+		sc.maybeFinishRecovery(env)
 	case *sourcePhaseDone:
 		sc.sourcesDone++
 	case *doReshuffle:
@@ -117,7 +166,9 @@ func (sc *schedActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 			env.Send(sc.cfg.sourceID(i), &statsReq{})
 		}
 		for i := 0; i < sc.cfg.MaxNodes; i++ {
-			env.Send(sc.cfg.joinID(i), &statsReq{})
+			if id := sc.cfg.joinID(i); !sc.deadNodes[id] {
+				env.Send(id, &statsReq{})
+			}
 		}
 	case *joinStats:
 		sc.joinStats[from] = msg
@@ -199,6 +250,7 @@ func (sc *schedActor) probeExpand(env rt.Env, fullNode rt.NodeID) {
 	sc.table.Entries[idx].Owners[slot] = int32(w)
 	sc.table.Version++
 	rng := sc.table.Entries[idx].Range
+	sc.footprints[w] = rng
 	env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
 	env.Send(w, &joinInit{Range: rng, Table: sc.table.Clone(), AwaitClone: true})
 	env.Send(fullNode, &cloneTable{To: w})
@@ -238,6 +290,7 @@ func (sc *schedActor) replicate(env rt.Env, fullNode rt.NodeID) {
 	sc.working = append(sc.working, w)
 	sc.replications++
 	rng := sc.table.Entries[idx].Range
+	sc.footprints[w] = rng
 	env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
 	env.Send(w, &joinInit{Range: rng, Table: sc.table.Clone()})
 	env.Send(fullNode, &retire{ForwardTo: w, Table: sc.table.Clone()})
@@ -272,7 +325,9 @@ func (sc *schedActor) issueSplits(env rt.Env) {
 			return
 		}
 		sc.splitter.Issued()
+		sc.pendingSplit = pendingSplitState{active: true, victim: victim, newNode: w}
 		sc.working = append(sc.working, w)
+		sc.footprints[w] = upper
 		sc.splits++
 		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
 		env.Send(w, &joinInit{Range: upper, Table: sc.table.Clone()})
@@ -384,4 +439,280 @@ func (sc *schedActor) finishGroup(env rt.Env, g *groupState) {
 		delete(sc.fullSet, member)
 	}
 	sc.broadcastRoute(env, g.members...)
+}
+
+// onNodeDead handles a declared worker death. During the build phase the
+// failure becomes just another trigger for the expansion protocol: the lost
+// ranges are rebuilt on a replacement node and re-streamed from the
+// deterministic sources (§4.1.1's recruitment policy, reused for recovery).
+// Outside the build phase — or on the out-of-core baseline, whose state
+// lives in spill files that cannot be re-streamed into — the run degrades
+// to the surviving replicas instead.
+func (sc *schedActor) onNodeDead(env rt.Env, node rt.NodeID) {
+	if sc.deadNodes[node] {
+		return
+	}
+	sc.deadNodes[node] = true
+	sc.nodesLost++
+	sc.table.MarkDead(int32(node))
+
+	// A potential node dying costs nothing but spare capacity.
+	for i, p := range sc.potential {
+		if p == node {
+			sc.potential = append(sc.potential[:i], sc.potential[i+1:]...)
+			return
+		}
+	}
+
+	removeID(&sc.working, node)
+	delete(sc.fullSet, node)
+	delete(sc.probeFullSet, node)
+	if sc.queuedNode[node] {
+		delete(sc.queuedNode, node)
+		removeID(&sc.overflowQueue, node)
+	}
+
+	// Release the split barrier if the dead node was a split party; the
+	// affected ranges fall inside the victim's footprint and are rebuilt
+	// below.
+	if sc.pendingSplit.active && (sc.pendingSplit.victim == node || sc.pendingSplit.newNode == node) {
+		sc.pendingSplit = pendingSplitState{}
+		sc.splitter.Completed()
+	}
+
+	if sc.phase != phaseBuild || sc.cfg.Algorithm == OutOfCore {
+		sc.degrade(env)
+		return
+	}
+
+	if sc.recoveryStartNs < 0 {
+		sc.recoveryStartNs = env.Now()
+	}
+	// Rebuild the node's entire activation footprint, not just its current
+	// entry: chunks addressed to the node under stale tables (strays it
+	// would have re-forwarded, split migrations toward it) died with it,
+	// and those tuples can lie anywhere the node ever owned. Splits keep
+	// entry ranges within their ancestor range, so footprint overlap is
+	// always whole entries.
+	footprint, haveFp := sc.footprints[node]
+	recovered := false
+	for idx := 0; idx < len(sc.table.Entries); {
+		e := sc.table.Entries[idx]
+		if (haveFp && e.Range.Lo < footprint.Hi && footprint.Lo < e.Range.Hi) ||
+			ownsEntry(e, int32(node)) {
+			before := len(sc.table.Entries)
+			if sc.recoverEntry(env, idx) {
+				recovered = true
+			}
+			if len(sc.table.Entries) < before {
+				continue // entry merged away; idx now holds its successor
+			}
+		}
+		idx++
+	}
+	if recovered {
+		sc.nodesRecovered++
+	}
+	sc.broadcastRoute(env)
+	sc.maybeFinishRecovery(env)
+	sc.issueSplits(env) // the freed barrier may unblock queued overflows
+}
+
+// recoverEntry rebuilds the table entry at idx after a failure invalidated
+// its contents. Which tuples each chain member held is timing-dependent, so
+// exact recovery purges every surviving copy and re-streams the entire
+// range from the deterministic sources to a single fresh owner. The owner
+// is the newest surviving replica that is not full (free capacity already
+// in the chain — including a split recipient whose migration sender died),
+// otherwise a recruit from the potential list (largest memory first,
+// §4.1.1), otherwise a full survivor restarted empty. It returns false when
+// the range had a sole owner and no spare node exists: that data is lost.
+func (sc *schedActor) recoverEntry(env rt.Env, idx int) bool {
+	rng := sc.table.Entries[idx].Range
+	var survivors []rt.NodeID
+	for _, o := range sc.table.Entries[idx].Owners {
+		if n := rt.NodeID(o); !sc.deadNodes[n] {
+			survivors = append(survivors, n)
+		}
+	}
+	newOwner := rt.NoNode
+	fresh := false
+	for i := len(survivors) - 1; i >= 0; i-- {
+		if !sc.fullSet[survivors[i]] {
+			newOwner = survivors[i]
+			break
+		}
+	}
+	if newOwner == rt.NoNode {
+		if w, ok := sc.pickPotential(); ok {
+			newOwner = w
+			fresh = true
+			sc.working = append(sc.working, w)
+		} else if len(survivors) > 0 {
+			newOwner = survivors[len(survivors)-1]
+			delete(sc.fullSet, newOwner) // restarts empty; may overflow afresh
+		} else if sc.mergeOrphanEntry(env, idx) {
+			return true
+		} else {
+			sc.degraded = true
+			sc.recoveryFailed = true
+			return false
+		}
+	}
+
+	sc.table.Entries[idx] = hashfn.Entry{Range: rng, Owners: []int32{int32(newOwner)}}
+	sc.table.Version++
+	// Every copy of the range routed under an older table — in flight,
+	// buffered at a retired node, or mid-migration — must be discarded, or
+	// it would duplicate the re-streamed authoritative copies.
+	sc.table.AddBarrier(hashfn.Barrier{Range: rng, MinVersion: sc.table.Version})
+
+	for _, s := range survivors {
+		if s == newOwner {
+			continue
+		}
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(s, &purgeRange{Range: rng, NewOwner: newOwner, Table: sc.table.Clone()})
+	}
+	env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
+	if fresh {
+		env.Send(newOwner, &joinInit{Range: rng, Table: sc.table.Clone()})
+	} else {
+		env.Send(newOwner, &purgeRange{Range: rng, NewOwner: newOwner, Table: sc.table.Clone()})
+	}
+	for i := 0; i < sc.cfg.Sources; i++ {
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(sc.cfg.sourceID(i), &replayRange{Range: rng, Table: sc.table.Clone()})
+	}
+	sc.pendingReplays += sc.cfg.Sources
+	return true
+}
+
+// mergeOrphanEntry folds the entry at idx — whose chain died entirely with
+// no spare node left to recruit — into an adjacent entry that still has a
+// live owner, then re-streams the orphaned range there. The absorbing
+// node's routing table says the range is now its own, so re-streamed
+// tuples land correctly even before its local range catches up, and the
+// re-stream barrier drops any stale in-flight copies. Returns false when
+// no adjacent entry has a live owner (the whole table is dead).
+func (sc *schedActor) mergeOrphanEntry(env rt.Env, idx int) bool {
+	rng := sc.table.Entries[idx].Range
+	into := -1
+	// Prefer the left neighbour: entries are recovered left to right, so it
+	// has already been rebuilt this round; absorbing rightward would make
+	// the grown entry reprocess (correct — the barriers discard the first
+	// replay — but wasteful).
+	for _, n := range []int{idx - 1, idx + 1} {
+		if n < 0 || n >= len(sc.table.Entries) || into >= 0 {
+			continue
+		}
+		for _, o := range sc.table.Entries[n].Owners {
+			if !sc.deadNodes[rt.NodeID(o)] {
+				into = n
+				break
+			}
+		}
+	}
+	if into < 0 {
+		return false
+	}
+	if into < idx {
+		sc.table.Entries[into].Range.Hi = rng.Hi
+	} else {
+		sc.table.Entries[into].Range.Lo = rng.Lo
+	}
+	// The absorbed span joins each live owner's footprint so a later death
+	// of the absorbing node rebuilds it too.
+	for _, o := range sc.table.Entries[into].Owners {
+		n := rt.NodeID(o)
+		if sc.deadNodes[n] {
+			continue
+		}
+		f, ok := sc.footprints[n]
+		if !ok {
+			f = sc.table.Entries[into].Range
+		}
+		if rng.Lo < f.Lo {
+			f.Lo = rng.Lo
+		}
+		if rng.Hi > f.Hi {
+			f.Hi = rng.Hi
+		}
+		sc.footprints[n] = f
+	}
+	sc.table.Entries = append(sc.table.Entries[:idx], sc.table.Entries[idx+1:]...)
+	sc.table.Version++
+	sc.table.AddBarrier(hashfn.Barrier{Range: rng, MinVersion: sc.table.Version})
+	for i := 0; i < sc.cfg.Sources; i++ {
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(sc.cfg.sourceID(i), &replayRange{Range: rng, Table: sc.table.Clone()})
+	}
+	sc.pendingReplays += sc.cfg.Sources
+	return true
+}
+
+// degrade handles a death that cannot be recovered exactly: replicated
+// ranges fall back to their surviving replicas (the replication and hybrid
+// algorithms' free partial fault tolerance), a sole-owner range is lost
+// outright, and the run is flagged so conservation checks are skipped.
+func (sc *schedActor) degrade(env rt.Env) {
+	sc.degraded = true
+	for _, node := range sortedDeadNodes(sc.deadNodes) {
+		sc.table.RemoveOwner(int32(node))
+		for _, e := range sc.table.Entries {
+			for _, o := range e.Owners {
+				if rt.NodeID(o) == node {
+					sc.recoveryFailed = true // sole owner: range data is gone
+				}
+			}
+		}
+		// Reshuffle groups must neither wait for nor assign ranges to the
+		// dead member.
+		for lo, g := range sc.pendingGroups {
+			for i, m := range g.members {
+				if m == node {
+					g.members = append(g.members[:i], g.members[i+1:]...)
+					break
+				}
+			}
+			if len(g.members) == 0 {
+				delete(sc.pendingGroups, lo)
+				continue
+			}
+			if g.got >= len(g.members) {
+				delete(sc.pendingGroups, lo)
+				sc.finishGroup(env, g)
+			}
+		}
+	}
+	sc.broadcastRoute(env)
+}
+
+// maybeFinishRecovery closes the recovery-latency clock once every source
+// has acknowledged its replay. Re-streamed chunks may still be draining
+// through the transport; the metric measures until regeneration completed.
+func (sc *schedActor) maybeFinishRecovery(env rt.Env) {
+	if sc.recoveryStartNs < 0 || sc.pendingReplays > 0 {
+		return
+	}
+	sc.recoveryNs += env.Now() - sc.recoveryStartNs
+	sc.recoveryStartNs = -1
+}
+
+func ownsEntry(e hashfn.Entry, node int32) bool {
+	for _, o := range e.Owners {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}
+
+func removeID(list *[]rt.NodeID, id rt.NodeID) {
+	for i, n := range *list {
+		if n == id {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
 }

@@ -35,13 +35,22 @@ type sourceActor struct {
 
 	builders map[rt.NodeID]*tuple.Builder
 	credits  map[rt.NodeID]int
-	queue    map[rt.NodeID][]*tuple.Chunk
+	queue    map[rt.NodeID][]queuedChunk
 	stalled  bool // generation paused on backpressure
 	doneSent bool
 
 	// stats
 	chunksSent       int64
 	probeExtraCopies int64 // probe tuples duplicated beyond their first copy
+}
+
+// queuedChunk is an undelivered chunk with the routing-table version its
+// tuples were routed under, so failure-recovery barriers can tell stale
+// copies from re-streamed authoritative ones regardless of when the chunk
+// finally leaves the queue.
+type queuedChunk struct {
+	c *tuple.Chunk
+	v uint64
 }
 
 func newSource(cfg Config, index int, build, probe relationGen) *sourceActor {
@@ -53,7 +62,7 @@ func newSource(cfg Config, index int, build, probe relationGen) *sourceActor {
 		probe:    probe,
 		builders: make(map[rt.NodeID]*tuple.Builder),
 		credits:  make(map[rt.NodeID]int),
-		queue:    make(map[rt.NodeID][]*tuple.Chunk),
+		queue:    make(map[rt.NodeID][]queuedChunk),
 	}
 }
 
@@ -69,9 +78,9 @@ func (s *sourceActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 	case *chunkAck:
 		s.credit(env, from)
 	case *routeUpdate:
-		if s.table == nil || msg.Table.Version > s.table.Version {
-			s.table = msg.Table
-		}
+		s.adoptTable(env, msg.Table)
+	case *replayRange:
+		s.onReplay(env, msg)
 	case *statsReq:
 		env.Send(from, &sourceStats{
 			ChunksSent:       s.chunksSent,
@@ -81,9 +90,7 @@ func (s *sourceActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 }
 
 func (s *sourceActor) beginPhase(env rt.Env, rel tuple.Relation, table *hashfn.Table) {
-	if table != nil && (s.table == nil || table.Version > s.table.Version) {
-		s.table = table
-	}
+	s.adoptTable(env, table)
 	s.phase = rel
 	s.started = true
 	s.finished = false
@@ -172,27 +179,117 @@ func (s *sourceActor) route(env rt.Env, dest rt.NodeID, t tuple.Tuple, layout tu
 }
 
 func (s *sourceActor) enqueue(env rt.Env, dest rt.NodeID, c *tuple.Chunk) {
-	s.queue[dest] = append(s.queue[dest], c)
+	var v uint64
+	if s.table != nil {
+		v = s.table.Version
+	}
+	s.queue[dest] = append(s.queue[dest], queuedChunk{c: c, v: v})
 	s.trySend(env, dest)
 }
 
 func (s *sourceActor) trySend(env rt.Env, dest rt.NodeID) {
+	if s.table != nil && s.table.IsDead(int32(dest)) {
+		// The destination died and no replacement took over its range (the
+		// environment was exhausted): drop the traffic instead of stalling
+		// generation forever behind credits that can never return.
+		delete(s.queue, dest)
+		delete(s.credits, dest)
+		return
+	}
 	cr, ok := s.credits[dest]
 	if !ok {
 		cr = s.cfg.CreditWindow
 	}
 	for cr > 0 && len(s.queue[dest]) > 0 {
-		c := s.queue[dest][0]
+		q := s.queue[dest][0]
 		s.queue[dest] = s.queue[dest][1:]
 		cr--
 		env.ChargeCPU(s.cfg.Cost.ChunkOverheadNs)
-		env.Send(dest, &dataChunk{Chunk: c, Origin: s.id})
+		env.Send(dest, &dataChunk{Chunk: q.c, Origin: s.id, Version: q.v})
 		s.chunksSent++
 	}
 	s.credits[dest] = cr
 	if len(s.queue[dest]) == 0 {
 		delete(s.queue, dest)
 	}
+}
+
+// adoptTable replaces the routing table when the version increases and
+// applies its failure-recovery side effects: flushing builders before a new
+// re-stream barrier (so every chunk's version stamp reflects the table its
+// tuples were actually routed under), dropping queued traffic for dead
+// destinations, and resuming generation if that traffic was the cause of a
+// backpressure stall.
+func (s *sourceActor) adoptTable(env rt.Env, t *hashfn.Table) {
+	if t == nil || (s.table != nil && t.Version <= s.table.Version) {
+		return
+	}
+	if s.table != nil && len(t.Barriers) > len(s.table.Barriers) {
+		for _, dest := range sortedNodeIDs(s.builders) {
+			if c := s.builders[dest].Flush(); c != nil {
+				s.enqueue(env, dest, c) // stamped with the pre-barrier version
+			}
+		}
+		s.builders = make(map[rt.NodeID]*tuple.Builder)
+	}
+	s.table = t
+	for _, d := range t.Dead {
+		dest := rt.NodeID(d)
+		delete(s.queue, dest)
+		delete(s.credits, dest)
+		delete(s.builders, dest)
+	}
+	if s.stalled && !s.backpressured() && !s.finished {
+		s.stalled = false
+		env.Send(s.id, &genStep{})
+	}
+	s.maybeDone(env)
+}
+
+// onReplay re-generates the already-streamed prefix of this source's build
+// slice and re-sends every tuple hashing into the lost range. Generation is
+// counter-based and deterministic, so the replay reproduces the original
+// tuples exactly; routing under the post-recovery table stamps them at or
+// above the barrier version, making them the range's authoritative copies.
+func (s *sourceActor) onReplay(env rt.Env, msg *replayRange) {
+	s.adoptTable(env, msg.Table)
+	slice := datagen.SliceFor(s.cfg.Build.Tuples, s.cfg.Sources, s.index)
+	upTo := slice.Lo // nothing streamed yet
+	if s.started {
+		if s.phase != tuple.RelR || s.finished {
+			upTo = slice.Hi // the build relation was fully streamed
+		} else {
+			upTo = s.next
+		}
+	}
+	var tuples, chunks int64
+	builders := make(map[rt.NodeID]*tuple.Builder)
+	for i := slice.Lo; i < upTo; i++ {
+		env.ChargeCPU(s.cfg.Cost.GenNs)
+		t := s.build.At(i)
+		p := s.cfg.Space.PositionOf(t.Key)
+		if !msg.Range.Contains(p) {
+			continue
+		}
+		tuples++
+		dest := rt.NodeID(s.table.BuildOwnerOf(p))
+		b := builders[dest]
+		if b == nil {
+			b = tuple.NewBuilder(tuple.RelR, s.cfg.Build.Layout, s.cfg.ChunkTuples)
+			builders[dest] = b
+		}
+		if c := b.Add(t); c != nil {
+			chunks++
+			s.enqueue(env, dest, c)
+		}
+	}
+	for _, dest := range sortedNodeIDs(builders) {
+		if c := builders[dest].Flush(); c != nil {
+			chunks++
+			s.enqueue(env, dest, c)
+		}
+	}
+	env.Send(s.cfg.schedulerID(), &replayDone{Chunks: chunks, Tuples: tuples})
 }
 
 func (s *sourceActor) credit(env rt.Env, dest rt.NodeID) {

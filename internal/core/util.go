@@ -18,3 +18,14 @@ func sortedNodeIDs(m map[rt.NodeID]*tuple.Builder) []rt.NodeID {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// sortedDeadNodes returns the declared-dead set in ascending id order, for
+// the same determinism reason.
+func sortedDeadNodes(m map[rt.NodeID]bool) []rt.NodeID {
+	out := make([]rt.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -33,6 +33,10 @@ func init() {
 	gob.Register(&reshuffleAssign{})
 	gob.Register(&startProbe{})
 	gob.Register(&finishOOC{})
+	gob.Register(&nodeDead{})
+	gob.Register(&purgeRange{})
+	gob.Register(&replayRange{})
+	gob.Register(&replayDone{})
 	gob.Register(&collectStats{})
 	gob.Register(&setForward{})
 	gob.Register(&statsReq{})
@@ -90,6 +94,22 @@ func NewJoinActor(cfg Config, id rt.NodeID) (rt.Actor, error) {
 	}
 	return newJoin(n, id), nil
 }
+
+// SchedulerNodeID returns the scheduler's node id in the configured id
+// layout, for transports that need to address it (e.g. to deliver failure
+// notifications).
+func SchedulerNodeID(cfg Config) (rt.NodeID, error) {
+	n, err := cfg.normalized()
+	if err != nil {
+		return rt.NoNode, err
+	}
+	return n.schedulerID(), nil
+}
+
+// NodeDeadMessage builds the failure notification for a join node, for
+// injection into the scheduler by an external failure detector (the TCP
+// coordinator's heartbeat monitor, or a test harness).
+func NodeDeadMessage(node rt.NodeID) rt.Message { return &nodeDead{Node: node} }
 
 // EncodeMultiConfig serialises a MultiConfig for shipping to worker
 // processes hosting pipeline join nodes.

@@ -20,6 +20,17 @@ type Entry struct {
 // range: the most recently added owner.
 func (e Entry) BuildOwner() int32 { return e.Owners[len(e.Owners)-1] }
 
+// Barrier invalidates build tuples that were routed into a range under a
+// routing table older than MinVersion. It is appended when a range is
+// rebuilt after a node failure: the authoritative copy of every tuple in
+// the range is re-streamed from the data sources under the new table, so
+// any copy still in flight under an older version must be discarded to
+// keep the stored-exactly-once invariant.
+type Barrier struct {
+	Range      Range
+	MinVersion uint64
+}
+
 // Table is the routing table shared (by value, via broadcast) between the
 // scheduler, the data sources, and the join processes. Entries are kept
 // sorted by Range.Lo and always tile the full position space exactly.
@@ -32,6 +43,12 @@ type Table struct {
 	// can be recognised and discarded.
 	Version uint64
 	Entries []Entry
+	// Dead lists nodes declared failed. Sources drop queued traffic for
+	// them; the scheduler never recruits them.
+	Dead []int32
+	// Barriers records every range rebuilt after a failure, with the table
+	// version from which re-streamed tuples are authoritative.
+	Barriers []Barrier
 }
 
 // NewTable partitions the space evenly across the given owners, one entry
@@ -67,7 +84,76 @@ func (t *Table) Clone() *Table {
 		copy(owners, e.Owners)
 		c.Entries[i] = Entry{Range: e.Range, Owners: owners}
 	}
+	if len(t.Dead) > 0 {
+		c.Dead = append([]int32(nil), t.Dead...)
+	}
+	if len(t.Barriers) > 0 {
+		c.Barriers = append([]Barrier(nil), t.Barriers...)
+	}
 	return c
+}
+
+// MarkDead records a failed node and bumps the version so receivers learn
+// about the death with the next broadcast.
+func (t *Table) MarkDead(node int32) {
+	for _, d := range t.Dead {
+		if d == node {
+			return
+		}
+	}
+	t.Dead = append(t.Dead, node)
+	t.Version++
+}
+
+// IsDead reports whether node has been declared failed.
+func (t *Table) IsDead(node int32) bool {
+	for _, d := range t.Dead {
+		if d == node {
+			return true
+		}
+	}
+	return false
+}
+
+// AddBarrier appends a re-stream barrier (see Barrier).
+func (t *Table) AddBarrier(b Barrier) { t.Barriers = append(t.Barriers, b) }
+
+// StaleInBarrier reports whether a build tuple at position p, routed under
+// table version v, has been invalidated by a re-stream barrier.
+func (t *Table) StaleInBarrier(p int, v uint64) bool {
+	for _, b := range t.Barriers {
+		if v < b.MinVersion && b.Range.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveOwner removes node from every entry that has other owners left (a
+// sole owner is kept so the table keeps tiling; traffic to it is dropped by
+// the engine). It reports whether the table changed.
+func (t *Table) RemoveOwner(node int32) bool {
+	changed := false
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if len(e.Owners) < 2 {
+			continue
+		}
+		kept := e.Owners[:0]
+		for _, o := range e.Owners {
+			if o != node {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) != len(e.Owners) && len(kept) > 0 {
+			e.Owners = kept
+			changed = true
+		}
+	}
+	if changed {
+		t.Version++
+	}
+	return changed
 }
 
 // EntryIndexOf returns the index of the entry containing position p.

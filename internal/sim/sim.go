@@ -77,6 +77,37 @@ type Stats struct {
 	BytesOnWire  int64
 	Events       int64
 	MaxQueueSize int
+	// DroppedMessages counts messages discarded by fault injection: traffic
+	// addressed to a crashed node after its crash time, or dropped by an
+	// active link fault.
+	DroppedMessages int64
+}
+
+// Crash schedules node to fail at virtual time atNs: every message
+// addressed to it at or after that instant is silently dropped (it is in
+// flight to a dead host), and the node's actor never runs again. Messages
+// the node sent before the crash still deliver — they are already on the
+// wire.
+type Crash struct {
+	Node rt.NodeID
+	AtNs int64
+}
+
+// LinkFault degrades the directed link From -> To during [FromNs, ToNs):
+// messages entering the link in the window are either dropped or delayed
+// by ExtraDelayNs on top of the normal switch latency.
+type LinkFault struct {
+	From, To     rt.NodeID
+	FromNs, ToNs int64
+	ExtraDelayNs int64
+	Drop         bool
+}
+
+// FaultPlan is a deterministic fault-injection schedule, applied with
+// Sim.ApplyFaults before the run starts.
+type FaultPlan struct {
+	Crashes []Crash
+	Links   []LinkFault
 }
 
 // Observer receives one callback per processed message: the node was busy
@@ -99,6 +130,9 @@ type Sim struct {
 	MaxEvents int64
 	// Trace, when set, observes every processed message.
 	Trace Observer
+
+	crashed    map[rt.NodeID]int64 // node -> crash time (virtual ns)
+	linkFaults []LinkFault
 }
 
 const defaultMaxEvents = 2_000_000_000
@@ -122,6 +156,26 @@ func (s *Sim) Register(id rt.NodeID, a rt.Actor) {
 // the current virtual time with no network cost.
 func (s *Sim) Inject(to rt.NodeID, m rt.Message) {
 	s.push(&event{t: s.now, kind: evDeliver, from: rt.NoNode, to: to, msg: m})
+}
+
+// InjectAt schedules an orchestration message for delivery at virtual time
+// atNs. It is how fault detection is modelled: a crash at T surfaces as a
+// message to the scheduler at T plus the detection delay.
+func (s *Sim) InjectAt(atNs int64, to rt.NodeID, m rt.Message) {
+	s.push(&event{t: atNs, kind: evDeliver, from: rt.NoNode, to: to, msg: m})
+}
+
+// ApplyFaults registers a fault-injection schedule. Call before Drain.
+func (s *Sim) ApplyFaults(p FaultPlan) {
+	for _, c := range p.Crashes {
+		if s.crashed == nil {
+			s.crashed = make(map[rt.NodeID]int64)
+		}
+		if t, dup := s.crashed[c.Node]; !dup || c.AtNs < t {
+			s.crashed[c.Node] = c.AtNs
+		}
+	}
+	s.linkFaults = append(s.linkFaults, p.Links...)
 }
 
 func (s *Sim) push(e *event) {
@@ -148,6 +202,11 @@ func (s *Sim) Drain() error {
 		e := heap.Pop(&s.events).(*event)
 		if e.t > s.now {
 			s.now = e.t
+		}
+		if ct, dead := s.crashed[e.to]; dead && e.t >= ct {
+			// In flight to a crashed host: the message is lost.
+			s.stats.DroppedMessages++
+			continue
 		}
 		n, ok := s.nodes[e.to]
 		if !ok {
@@ -249,16 +308,26 @@ func (e *env) Send(to rt.NodeID, m rt.Message) {
 		s.push(&event{t: e.cur, kind: evDeliver, from: e.node.id, to: to, msg: m})
 		return
 	}
+	var extraDelay int64
+	for _, lf := range s.linkFaults {
+		if lf.From == e.node.id && lf.To == to && e.cur >= lf.FromNs && e.cur < lf.ToNs {
+			if lf.Drop {
+				s.stats.DroppedMessages++
+				return
+			}
+			extraDelay += lf.ExtraDelayNs
+		}
+	}
 	size := m.WireSize() + s.cm.MsgOverheadBytes
 	s.stats.Messages++
 	s.stats.BytesOnWire += int64(size)
 	if size <= ctrlLaneBytes {
-		t := e.cur + s.cm.NetTransferNs(size) + s.cm.NetLatencyNs
+		t := e.cur + s.cm.NetTransferNs(size) + s.cm.NetLatencyNs + extraDelay
 		s.push(&event{t: t, kind: evDeliver, from: e.node.id, to: to, msg: m, size: size})
 		return
 	}
 	txStart := max64(e.cur, e.node.txFree)
 	txDone := txStart + s.cm.NetTransferNs(size)
 	e.node.txFree = txDone
-	s.push(&event{t: txDone + s.cm.NetLatencyNs, kind: evArrive, from: e.node.id, to: to, msg: m, size: size})
+	s.push(&event{t: txDone + s.cm.NetLatencyNs + extraDelay, kind: evArrive, from: e.node.id, to: to, msg: m, size: size})
 }

@@ -1,0 +1,257 @@
+package tcpnet_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ehjoin/internal/core"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tcpnet"
+)
+
+// killConn cuts a worker's connection after it has read limit bytes,
+// deterministically landing the failure mid-phase regardless of scheduling.
+type killConn struct {
+	net.Conn
+	remaining int64
+}
+
+func (k *killConn) Read(p []byte) (int, error) {
+	if k.remaining <= 0 {
+		_ = k.Conn.Close()
+		return 0, errors.New("injected fault: connection killed")
+	}
+	n, err := k.Conn.Read(p)
+	k.remaining -= int64(n)
+	return n, err
+}
+
+func joinFactory(blob []byte, id rt.NodeID) (rt.Actor, error) {
+	cfg, err := core.DecodeConfig(blob)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewJoinActor(cfg, id)
+}
+
+// startFaultyWorkers launches n workers; the one at killWorker dies after
+// reading killBytes. The doomed worker's error is always expected. With
+// strict set, every other worker must exit cleanly — demand that only
+// when the run is supposed to recover and finish; on an aborting run the
+// coordinator tears the connections down with survivor writes still in
+// flight, so survivor errors are part of the failure path.
+func startFaultyWorkers(t *testing.T, n, killWorker int, killBytes int64, strict bool) ([]net.Conn, *sync.WaitGroup) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	conns := make([]net.Conn, n)
+	for i := 0; i < n; i++ {
+		wconn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cconn, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = cconn
+		wg.Add(1)
+		go func(i int, c net.Conn) {
+			defer wg.Done()
+			if i == killWorker {
+				_ = tcpnet.RunWorker(&killConn{Conn: c, remaining: killBytes}, joinFactory)
+				return // dies by design
+			}
+			if err := tcpnet.RunWorker(c, joinFactory); err != nil && strict {
+				t.Errorf("surviving worker %d: %v", i, err)
+			}
+		}(i, wconn)
+	}
+	return conns, &wg
+}
+
+// TestDisconnectMidBuildFails: without a failure handler, a worker dying
+// mid-build must surface from Drain as a descriptive error naming the
+// worker — never a panic, never a bare timeout.
+func TestDisconnectMidBuildFails(t *testing.T) {
+	cfg := distConfig(core.Split)
+	blob, err := core.EncodeConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := core.JoinNodeIDs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, wg := startFaultyWorkers(t, 2, 1, 64<<10, false)
+	assignment := make(map[rt.NodeID]int)
+	for i, id := range ids {
+		assignment[id] = i % 2
+	}
+	coord, err := tcpnet.NewCoordinator(blob, assignment, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Execute(cfg, coord)
+	coord.Close()
+	wg.Wait()
+	if err == nil {
+		t.Fatal("worker death mid-build must fail the run")
+	}
+	if !strings.Contains(err.Error(), "worker 1") {
+		t.Errorf("error should name the failed worker: %v", err)
+	}
+	if strings.Contains(err.Error(), "timed out") {
+		t.Errorf("death should be detected directly, not via drain timeout: %v", err)
+	}
+}
+
+// TestHeartbeatDetectsHungWorker: a worker that stops reading without
+// closing its connection is caught by the ping/pong heartbeat, not the
+// drain timeout.
+func TestHeartbeatDetectsHungWorker(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wconn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wconn.Close() // held open but never read: a hung process
+	cconn, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := tcpnet.NewCoordinator(nil, map[rt.NodeID]int{7: 0}, []net.Conn{cconn},
+		tcpnet.WithHeartbeat(20*time.Millisecond, 150*time.Millisecond),
+		tcpnet.WithDrainTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.Inject(7, core.NodeDeadMessage(7)) // any outstanding message
+	err = coord.Drain()
+	if err == nil {
+		t.Fatal("hung worker must fail the drain")
+	}
+	if !strings.Contains(err.Error(), "heartbeat") || !strings.Contains(err.Error(), "worker 0") {
+		t.Errorf("expected heartbeat failure naming worker 0, got: %v", err)
+	}
+}
+
+// TestDrainTimeoutOption: with heartbeats disabled, the configurable drain
+// timeout still bounds a stuck drain and reports per-worker counters.
+func TestDrainTimeoutOption(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wconn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wconn.Close()
+	cconn, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := tcpnet.NewCoordinator(nil, map[rt.NodeID]int{7: 0}, []net.Conn{cconn},
+		tcpnet.WithHeartbeat(0, 0),
+		tcpnet.WithDrainTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.Inject(7, core.NodeDeadMessage(7))
+	start := time.Now()
+	err = coord.Drain()
+	if err == nil {
+		t.Fatal("stuck drain must time out")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, want ~150ms", elapsed)
+	}
+	if !strings.Contains(err.Error(), "timed out") ||
+		!strings.Contains(err.Error(), "delivered 1 processed 0") {
+		t.Errorf("timeout should report per-worker counters, got: %v", err)
+	}
+}
+
+// TestWorkerDeathRecoversOverTCP is the end-to-end tentpole check on the
+// real transport: a worker process dies mid-build, the failure handler
+// feeds the deaths to the scheduler, and the recovery protocol re-streams
+// the lost state — the run completes with the exact fault-free result.
+func TestWorkerDeathRecoversOverTCP(t *testing.T) {
+	cfg := distConfig(core.Split)
+	want, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := core.EncodeConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := core.JoinNodeIDs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedID, err := core.SchedulerNodeID(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conns, wg := startFaultyWorkers(t, 2, 1, 100<<10, true)
+	assignment := make(map[rt.NodeID]int)
+	for i, id := range ids {
+		assignment[id] = i % 2
+	}
+	var coord *tcpnet.Coordinator
+	handler := func(worker int, nodes []rt.NodeID, cause error) {
+		t.Logf("worker %d died (%v); notifying scheduler of %d nodes", worker, cause, len(nodes))
+		for _, n := range nodes {
+			coord.Inject(schedID, core.NodeDeadMessage(n))
+		}
+	}
+	coord, err = tcpnet.NewCoordinator(blob, assignment, conns,
+		tcpnet.WithFailureHandler(handler),
+		tcpnet.WithHeartbeat(50*time.Millisecond, 500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Execute(cfg, coord)
+	coord.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("run with worker death did not recover: %v", err)
+	}
+	if got.NodesLost == 0 {
+		t.Fatal("the doomed worker's nodes were never declared dead")
+	}
+	if got.Degraded {
+		t.Fatalf("build-phase worker death should recover exactly, got degraded: %v", got)
+	}
+	if got.Matches != want.Matches || got.Checksum != want.Checksum {
+		t.Errorf("recovered result %d/%#x, want %d/%#x",
+			got.Matches, got.Checksum, want.Matches, want.Checksum)
+	}
+	if got.RestreamedChunks <= 0 {
+		t.Errorf("recovery should re-stream chunks, got %d", got.RestreamedChunks)
+	}
+	if got.RecoverySec <= 0 {
+		t.Errorf("RecoverySec = %v, want > 0", got.RecoverySec)
+	}
+}

@@ -14,12 +14,20 @@
 //
 // for every worker, with its own local queue empty, implies global
 // quiescence.
+//
+// Worker failures (closed connections, hung processes caught by the
+// heartbeat) never panic the coordinator. A failed worker is either
+// reconnected (WithReconnect), reported to a failure handler
+// (WithFailureHandler) so the join layer can run its recovery protocol, or
+// surfaced as a descriptive error from Drain.
 package tcpnet
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	rt "ehjoin/internal/runtime"
@@ -32,6 +40,8 @@ const (
 	frameMsg
 	frameReport
 	frameShutdown
+	framePing
+	framePong
 )
 
 // frame is the wire unit in both directions.
@@ -51,13 +61,23 @@ type frame struct {
 	Emitted   int64
 }
 
-// DrainTimeout bounds a single Drain call on the coordinator.
+// DrainTimeout is the default bound on a single Drain call; override with
+// WithDrainTimeout.
 const DrainTimeout = 5 * time.Minute
 
-// taggedFrame is a frame annotated with its worker index for the
-// coordinator's merged inbox.
+// Default heartbeat cadence: the coordinator pings every live worker each
+// interval while draining, and declares a worker dead when nothing (pong,
+// message, or report) has arrived from it within the timeout.
+const (
+	DefaultHeartbeatInterval = 2 * time.Second
+	DefaultHeartbeatTimeout  = 10 * time.Second
+)
+
+// taggedFrame is a frame annotated with its worker index and connection
+// generation for the coordinator's merged inbox.
 type taggedFrame struct {
 	worker int
+	gen    int
 	f      *frame
 	err    error
 }
@@ -70,12 +90,28 @@ type workerConn struct {
 	processed int64 // last reported processed count
 	received  int64 // messages the coordinator read from this worker
 	emitted   int64 // last reported emitted count
+	lastHeard time.Time
+	gen       int  // bumped on reconnect; frames from older readLoops are stale
+	dead      bool // tombstoned: no more traffic in either direction
 }
 
 type localDelivery struct {
 	from rt.NodeID
 	to   rt.NodeID
 	msg  rt.Message
+}
+
+// FailureHandler is notified when a worker is declared dead (or was
+// reconnected with all actor state lost). nodes lists the join-node ids the
+// worker hosted; a handler typically injects death notifications for them so
+// the scheduler's recovery protocol takes over.
+type FailureHandler func(worker int, nodes []rt.NodeID, cause error)
+
+// reconnectPolicy re-establishes a failed worker connection.
+type reconnectPolicy struct {
+	dial     func(worker int) (net.Conn, error)
+	attempts int
+	backoff  time.Duration
 }
 
 // Coordinator implements runtime.Engine over TCP workers.
@@ -87,47 +123,99 @@ type Coordinator struct {
 	queue      []localDelivery
 	start      time.Time
 	closed     bool
+
+	cfgBlob   []byte
+	perWorker [][]int32
+
+	drainTimeout time.Duration
+	hbInterval   time.Duration
+	hbTimeout    time.Duration
+	reconnect    *reconnectPolicy
+	onFailure    FailureHandler
+
+	fatal   error // first unrecoverable failure; surfaced by Drain
+	dropped int64 // messages discarded because their worker is dead
+}
+
+// Option configures a Coordinator.
+type Option func(*Coordinator)
+
+// WithDrainTimeout bounds each Drain call instead of the default
+// DrainTimeout.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(c *Coordinator) { c.drainTimeout = d }
+}
+
+// WithHeartbeat sets the ping cadence and the silence threshold after which
+// a worker is declared dead. A zero interval disables heartbeats.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(c *Coordinator) { c.hbInterval, c.hbTimeout = interval, timeout }
+}
+
+// WithReconnect lets the coordinator replace a failed worker connection:
+// dial is tried up to attempts times with backoff between tries. The fresh
+// worker receives the original assignment and rebuilds its actors from
+// scratch, so the failure handler still fires — actor state died with the
+// old process and the join layer must recover it.
+func WithReconnect(dial func(worker int) (net.Conn, error), attempts int, backoff time.Duration) Option {
+	return func(c *Coordinator) {
+		c.reconnect = &reconnectPolicy{dial: dial, attempts: attempts, backoff: backoff}
+	}
+}
+
+// WithFailureHandler installs the callback invoked when a worker dies.
+// Without one, a worker death is fatal: Drain returns a descriptive error.
+func WithFailureHandler(h FailureHandler) Option {
+	return func(c *Coordinator) { c.onFailure = h }
 }
 
 // NewCoordinator wires up accepted worker connections. assignment maps
 // node ids to indexes in conns; every unassigned registered node runs
 // locally. cfgBlob is shipped verbatim to each worker (typically
 // core.EncodeConfig output) together with its assigned node ids.
-func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Conn) (*Coordinator, error) {
+func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Conn, opts ...Option) (*Coordinator, error) {
 	c := &Coordinator{
-		assignment: assignment,
-		local:      make(map[rt.NodeID]rt.Actor),
-		inbox:      make(chan taggedFrame, 65536),
-		start:      time.Now(),
+		assignment:   assignment,
+		local:        make(map[rt.NodeID]rt.Actor),
+		inbox:        make(chan taggedFrame, 65536),
+		start:        time.Now(),
+		cfgBlob:      cfgBlob,
+		drainTimeout: DrainTimeout,
+		hbInterval:   DefaultHeartbeatInterval,
+		hbTimeout:    DefaultHeartbeatTimeout,
 	}
-	perWorker := make([][]int32, len(conns))
+	for _, o := range opts {
+		o(c)
+	}
+	c.perWorker = make([][]int32, len(conns))
 	for id, w := range assignment {
 		if w < 0 || w >= len(conns) {
 			return nil, fmt.Errorf("tcpnet: node %d assigned to nonexistent worker %d", id, w)
 		}
-		perWorker[w] = append(perWorker[w], int32(id))
+		c.perWorker[w] = append(c.perWorker[w], int32(id))
 	}
+	now := time.Now()
 	for i, conn := range conns {
-		wc := &workerConn{conn: conn, enc: gob.NewEncoder(conn)}
-		if err := wc.enc.Encode(&frame{Kind: frameAssign, CfgBlob: cfgBlob, IDs: perWorker[i]}); err != nil {
+		wc := &workerConn{conn: conn, enc: gob.NewEncoder(conn), lastHeard: now}
+		if err := wc.enc.Encode(&frame{Kind: frameAssign, CfgBlob: cfgBlob, IDs: c.perWorker[i]}); err != nil {
 			return nil, fmt.Errorf("tcpnet: assign worker %d: %w", i, err)
 		}
 		c.workers = append(c.workers, wc)
-		go c.readLoop(i, conn)
+		go c.readLoop(i, 0, conn)
 	}
 	return c, nil
 }
 
-// readLoop decodes one worker's frames into the merged inbox.
-func (c *Coordinator) readLoop(i int, conn net.Conn) {
+// readLoop decodes one worker connection's frames into the merged inbox.
+func (c *Coordinator) readLoop(i, gen int, conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	for {
 		f := new(frame)
 		if err := dec.Decode(f); err != nil {
-			c.inbox <- taggedFrame{worker: i, err: err}
+			c.inbox <- taggedFrame{worker: i, gen: gen, err: err}
 			return
 		}
-		c.inbox <- taggedFrame{worker: i, f: f}
+		c.inbox <- taggedFrame{worker: i, gen: gen, f: f}
 	}
 }
 
@@ -151,24 +239,102 @@ func (c *Coordinator) Inject(to rt.NodeID, m rt.Message) {
 func (c *Coordinator) route(from, to rt.NodeID, m rt.Message) {
 	if w, remote := c.assignment[to]; remote {
 		wc := c.workers[w]
+		if wc.dead {
+			// Expected during the window between a death and the join
+			// layer rerouting around it; mirrors the simulator dropping
+			// messages to crashed nodes.
+			c.dropped++
+			return
+		}
 		if err := wc.enc.Encode(&frame{Kind: frameMsg, From: int32(from), To: int32(to), Msg: m}); err != nil {
-			panic(fmt.Sprintf("tcpnet: write to worker %d: %v", w, err))
+			c.failWorker(w, fmt.Errorf("write %T to node %d: %w", m, to, err))
+			return
 		}
 		wc.delivered++
 		return
 	}
 	if _, ok := c.local[to]; !ok {
-		panic(fmt.Sprintf("tcpnet: message %T for unknown node %d", m, to))
+		if c.fatal == nil {
+			c.fatal = fmt.Errorf("tcpnet: message %T for unknown node %d", m, to)
+		}
+		return
 	}
 	c.queue = append(c.queue, localDelivery{from: from, to: to, msg: m})
 }
 
-// quiescent reports whether no work remains anywhere.
+// failWorker handles a broken worker connection: reconnect if configured,
+// then hand the (state-losing) death to the failure handler, or record it
+// as fatal for Drain to surface.
+func (c *Coordinator) failWorker(i int, cause error) {
+	w := c.workers[i]
+	if w.dead || c.closed {
+		return
+	}
+	_ = w.conn.Close()
+	if c.reconnect != nil && c.redial(i) {
+		// Transport restored, but the replacement process rebuilt its
+		// actors from scratch: the old state must still be recovered.
+		c.notifyDeath(i, cause)
+		return
+	}
+	w.dead = true
+	c.notifyDeath(i, cause)
+}
+
+// redial re-establishes worker i's connection per the reconnect policy and
+// re-sends its assignment. Reports success.
+func (c *Coordinator) redial(i int) bool {
+	w := c.workers[i]
+	for attempt := 0; attempt < c.reconnect.attempts; attempt++ {
+		if attempt > 0 && c.reconnect.backoff > 0 {
+			time.Sleep(c.reconnect.backoff)
+		}
+		conn, err := c.reconnect.dial(i)
+		if err != nil {
+			continue
+		}
+		enc := gob.NewEncoder(conn)
+		if err := enc.Encode(&frame{Kind: frameAssign, CfgBlob: c.cfgBlob, IDs: c.perWorker[i]}); err != nil {
+			_ = conn.Close()
+			continue
+		}
+		w.gen++
+		w.conn, w.enc = conn, enc
+		w.delivered, w.processed, w.received, w.emitted = 0, 0, 0, 0
+		w.lastHeard = time.Now()
+		go c.readLoop(i, w.gen, conn)
+		return true
+	}
+	return false
+}
+
+func (c *Coordinator) notifyDeath(i int, cause error) {
+	if c.onFailure != nil {
+		nodes := make([]rt.NodeID, 0, len(c.perWorker[i]))
+		for _, id := range c.perWorker[i] {
+			nodes = append(nodes, rt.NodeID(id))
+		}
+		c.onFailure(i, nodes, cause)
+		return
+	}
+	if c.fatal == nil {
+		w := c.workers[i]
+		c.fatal = fmt.Errorf("tcpnet: worker %d (nodes %v) failed: %v "+
+			"(delivered %d processed %d received %d emitted %d)",
+			i, c.perWorker[i], cause, w.delivered, w.processed, w.received, w.emitted)
+	}
+}
+
+// quiescent reports whether no work remains anywhere. Dead workers are
+// excluded: their outstanding counters can never settle.
 func (c *Coordinator) quiescent() bool {
 	if len(c.queue) > 0 {
 		return false
 	}
 	for _, w := range c.workers {
+		if w.dead {
+			continue
+		}
 		if w.delivered != w.processed || w.received != w.emitted {
 			return false
 		}
@@ -177,18 +343,36 @@ func (c *Coordinator) quiescent() bool {
 }
 
 // Drain implements runtime.Engine: process local deliveries and relay
-// worker traffic until global quiescence.
+// worker traffic until global quiescence, pinging workers along the way.
 func (c *Coordinator) Drain() error {
 	env := &coordEnv{c: c}
-	deadline := time.After(DrainTimeout)
+	deadline := time.After(c.drainTimeout)
+	var heartbeat <-chan time.Time
+	if c.hbInterval > 0 {
+		t := time.NewTicker(c.hbInterval)
+		defer t.Stop()
+		heartbeat = t.C
+		// A worker is only expected to be responsive while we drain, so
+		// silence accumulated between Drain calls does not count.
+		now := time.Now()
+		for _, w := range c.workers {
+			w.lastHeard = now
+		}
+	}
 	for {
 		// Run the local queue dry first.
 		for len(c.queue) > 0 {
+			if c.fatal != nil {
+				return c.fatal
+			}
 			d := c.queue[0]
 			c.queue = c.queue[1:]
 			env.self = d.to
 			c.local[d.to].Receive(env, d.from, d.msg)
 			c.absorb()
+		}
+		if c.fatal != nil {
+			return c.fatal
 		}
 		if c.quiescent() {
 			return nil
@@ -196,41 +380,78 @@ func (c *Coordinator) Drain() error {
 		// Block until a worker has something for us.
 		select {
 		case tf := <-c.inbox:
-			if err := c.apply(tf); err != nil {
-				return err
-			}
-			c.absorb()
+			c.apply(tf)
+		case <-heartbeat:
+			c.pingWorkers()
 		case <-deadline:
-			return fmt.Errorf("tcpnet: drain timed out after %v", DrainTimeout)
+			return c.timeoutError()
 		}
 	}
 }
 
+// pingWorkers sends one ping to every live worker and declares dead any
+// worker silent past the heartbeat timeout.
+func (c *Coordinator) pingWorkers() {
+	now := time.Now()
+	for i, w := range c.workers {
+		if w.dead {
+			continue
+		}
+		if c.hbTimeout > 0 && now.Sub(w.lastHeard) > c.hbTimeout {
+			c.failWorker(i, fmt.Errorf("no heartbeat for %v (timeout %v)",
+				now.Sub(w.lastHeard).Round(time.Millisecond), c.hbTimeout))
+			continue
+		}
+		if err := w.enc.Encode(&frame{Kind: framePing}); err != nil {
+			c.failWorker(i, fmt.Errorf("ping: %w", err))
+		}
+	}
+}
+
+// timeoutError describes a stuck drain, including per-worker counters so a
+// wedged worker is identifiable from the message alone.
+func (c *Coordinator) timeoutError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tcpnet: drain timed out after %v: %d queued local deliveries, %d dropped",
+		c.drainTimeout, len(c.queue), c.dropped)
+	for i, w := range c.workers {
+		state := "live"
+		if w.dead {
+			state = "dead"
+		}
+		fmt.Fprintf(&b, "; worker %d (%s) delivered %d processed %d received %d emitted %d",
+			i, state, w.delivered, w.processed, w.received, w.emitted)
+	}
+	return errors.New(b.String())
+}
+
 // absorb applies every frame already queued in the inbox without blocking.
+// Connection errors are not swallowed: apply records them via failWorker,
+// which either recovers the worker or sets the fatal error Drain returns.
 func (c *Coordinator) absorb() {
 	for {
 		select {
 		case tf := <-c.inbox:
-			if err := c.apply(tf); err != nil {
-				// Defer the error to the quiescence check: a closed
-				// connection with outstanding counters will time out with
-				// a clear message; a clean shutdown is invisible here.
-				return
-			}
+			c.apply(tf)
 		default:
 			return
 		}
 	}
 }
 
-func (c *Coordinator) apply(tf taggedFrame) error {
+func (c *Coordinator) apply(tf taggedFrame) {
+	w := c.workers[tf.worker]
+	if w.dead || tf.gen != w.gen {
+		return // stale frame from a tombstoned or replaced connection
+	}
 	if tf.err != nil {
 		if c.closed {
-			return nil
+			return
 		}
-		return fmt.Errorf("tcpnet: worker %d connection: %w", tf.worker, tf.err)
+		c.failWorker(tf.worker, tf.err)
+		return
 	}
-	w := c.workers[tf.worker]
+	w.lastHeard = time.Now()
 	switch tf.f.Kind {
 	case frameMsg:
 		w.received++
@@ -238,20 +459,28 @@ func (c *Coordinator) apply(tf taggedFrame) error {
 	case frameReport:
 		w.processed = tf.f.Processed
 		w.emitted = tf.f.Emitted
+	case framePong:
+		// lastHeard update above is the whole point.
 	}
-	return nil
 }
 
 // NowSeconds implements runtime.Engine with wall-clock time.
 func (c *Coordinator) NowSeconds() float64 { return time.Since(c.start).Seconds() }
 
-// Close shuts every worker down and closes the connections.
+// DroppedMessages reports how many messages were discarded because their
+// destination worker was dead.
+func (c *Coordinator) DroppedMessages() int64 { return c.dropped }
+
+// Close shuts every live worker down and closes the connections.
 func (c *Coordinator) Close() {
 	if c.closed {
 		return
 	}
 	c.closed = true
 	for _, w := range c.workers {
+		if w.dead {
+			continue
+		}
 		_ = w.enc.Encode(&frame{Kind: frameShutdown})
 		_ = w.conn.Close()
 	}

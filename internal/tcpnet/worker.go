@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	rt "ehjoin/internal/runtime"
 )
@@ -32,6 +33,7 @@ func RunWorker(conn net.Conn, factory ActorFactory) error {
 	w := &worker{
 		enc:    enc,
 		actors: make(map[rt.NodeID]rt.Actor),
+		start:  time.Now(),
 	}
 	for _, id := range assign.IDs {
 		a, err := factory(assign.CfgBlob, rt.NodeID(id))
@@ -62,6 +64,12 @@ func RunWorker(conn net.Conn, factory ActorFactory) error {
 			if err := w.drainLocal(); err != nil {
 				return err
 			}
+		case framePing:
+			// Liveness probe; pongs stay outside the processed/emitted
+			// counters so they cannot perturb the quiescence predicate.
+			if err := enc.Encode(&frame{Kind: framePong}); err != nil {
+				return fmt.Errorf("tcpnet: worker pong: %w", err)
+			}
 		case frameShutdown:
 			return nil
 		default:
@@ -75,8 +83,10 @@ type worker struct {
 	enc       *gob.Encoder
 	actors    map[rt.NodeID]rt.Actor
 	queue     []localDelivery
+	start     time.Time
 	processed int64 // cumulative coordinator-delivered frames handled
 	emitted   int64 // cumulative messages written to the coordinator
+	sendErr   error // first failed coordinator write, surfaced by drainLocal
 }
 
 // drainLocal processes the queue to empty (local sends between this
@@ -95,6 +105,9 @@ func (w *worker) drainLocal() error {
 		env.self = d.to
 		a.Receive(env, d.from, d.msg)
 	}
+	if w.sendErr != nil {
+		return w.sendErr
+	}
 	return w.enc.Encode(&frame{Kind: frameReport, Processed: w.processed, Emitted: w.emitted})
 }
 
@@ -104,19 +117,27 @@ type workerEnv struct {
 	self rt.NodeID
 }
 
-// Now implements runtime.Env; workers have no shared clock, so this is a
-// monotonic local value only used for logging.
-func (e *workerEnv) Now() int64 { return e.w.processed }
+// Now implements runtime.Env: monotonic nanoseconds since the worker
+// started. Workers have no shared clock, so this orders events within one
+// worker only (timestamps, local timeouts) — never across processes.
+func (e *workerEnv) Now() int64 { return time.Since(e.w.start).Nanoseconds() }
 
 // Send implements runtime.Env: local destinations cascade in-process,
-// everything else goes through the coordinator.
+// everything else goes through the coordinator. A failed coordinator write
+// is recorded and surfaced after the current message finishes processing —
+// actors cannot handle transport errors mid-Receive, but the worker must
+// not panic on them.
 func (e *workerEnv) Send(to rt.NodeID, m rt.Message) {
 	if _, local := e.w.actors[to]; local {
 		e.w.queue = append(e.w.queue, localDelivery{from: e.self, to: to, msg: m})
 		return
 	}
+	if e.w.sendErr != nil {
+		return
+	}
 	if err := e.w.enc.Encode(&frame{Kind: frameMsg, From: int32(e.self), To: int32(to), Msg: m}); err != nil {
-		panic(fmt.Sprintf("tcpnet: worker write: %v", err))
+		e.w.sendErr = fmt.Errorf("tcpnet: worker write %T to node %d: %w", m, to, err)
+		return
 	}
 	e.w.emitted++
 }
