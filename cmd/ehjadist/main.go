@@ -27,6 +27,7 @@ import (
 	"ehjoin/internal/datagen"
 	rt "ehjoin/internal/runtime"
 	"ehjoin/internal/tcpnet"
+	"ehjoin/internal/wire"
 )
 
 func main() {
@@ -44,8 +45,19 @@ func main() {
 		budget   = flag.Int64("budget", 4<<20, "per-node hash memory budget in bytes")
 		kill     = flag.String("kill", "", "kill spawned worker W at T seconds wall time, format W@T (fault-injection demo; needs -spawn)")
 		recover_ = flag.Bool("recover", false, "survive worker deaths: re-stream lost state via the scheduler instead of aborting")
+		wireMode = flag.String("wire", "binary", "message encoding on the wire: binary|gob")
 	)
 	flag.Parse()
+
+	switch *wireMode {
+	case "binary":
+		wire.SetBinary(true)
+	case "gob":
+		wire.SetBinary(false)
+	default:
+		fmt.Fprintf(os.Stderr, "ehjadist: unknown wire mode %q (want binary or gob)\n", *wireMode)
+		os.Exit(2)
+	}
 
 	if *worker {
 		runWorker(*connect)
@@ -108,7 +120,7 @@ func main() {
 			fatal(err)
 		}
 		for i := 0; i < *workers; i++ {
-			cmd := exec.Command(self, "-worker", "-connect", l.Addr().String())
+			cmd := exec.Command(self, "-worker", "-connect", l.Addr().String(), "-wire", *wireMode)
 			cmd.Stderr = os.Stderr
 			if err := cmd.Start(); err != nil {
 				fatal(err)
@@ -177,8 +189,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	elapsed := time.Since(start).Seconds()
 	fmt.Printf("ehjadist: %d matches (checksum %#x) across %d worker process(es) in %.2fs wall time\n",
-		report.Matches, report.Checksum, *workers, time.Since(start).Seconds())
+		report.Matches, report.Checksum, *workers, elapsed)
+	fmt.Printf("ehjadist: %.0f tuples/sec over the %s wire\n",
+		float64(*rTuples+*sTuples)/elapsed, *wireMode)
 	fmt.Printf("ehjadist: nodes %d -> %d, splits %d, replications %d\n",
 		report.InitialNodes, report.FinalNodes, report.Splits, report.Replications)
 	if report.NodesLost > 0 {

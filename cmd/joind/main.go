@@ -16,11 +16,23 @@ import (
 	"ehjoin/internal/core"
 	rt "ehjoin/internal/runtime"
 	"ehjoin/internal/tcpnet"
+	"ehjoin/internal/wire"
 )
 
 func main() {
 	connect := flag.String("connect", "127.0.0.1:7420", "coordinator address")
+	wireMode := flag.String("wire", "binary", "message encoding on the wire: binary|gob")
 	flag.Parse()
+
+	switch *wireMode {
+	case "binary":
+		wire.SetBinary(true)
+	case "gob":
+		wire.SetBinary(false)
+	default:
+		fmt.Fprintf(os.Stderr, "joind: unknown wire mode %q (want binary or gob)\n", *wireMode)
+		os.Exit(2)
+	}
 
 	conn, err := net.Dial("tcp", *connect)
 	if err != nil {

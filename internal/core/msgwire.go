@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+	"ehjoin/internal/wire"
+)
+
+// Binary wire codecs for the chunk-bearing messages that dominate TCP
+// traffic. Everything else (control messages, one per phase or per event)
+// stays on the gob fallback. Codec ids are wire protocol: identical in
+// every process of a run, never reused for a different type.
+const (
+	wireDataChunk   = 1
+	wireChunkAck    = 2
+	wireMoveTuples  = 3
+	wireCloneTuples = 4
+)
+
+func init() {
+	// dataChunk: [chunk][4B origin][1B forwarded][8B version]
+	wire.Register(wireDataChunk, &dataChunk{},
+		func(buf []byte, m rt.Message) []byte {
+			d := m.(*dataChunk)
+			buf = d.Chunk.AppendBinary(buf)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(d.Origin))
+			var fwd byte
+			if d.Forwarded {
+				fwd = 1
+			}
+			buf = append(buf, fwd)
+			return binary.LittleEndian.AppendUint64(buf, d.Version)
+		},
+		func(data []byte) (rt.Message, error) {
+			c, n, err := tuple.DecodeBinary(data)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode dataChunk: %w", err)
+			}
+			rest := data[n:]
+			if len(rest) != 13 {
+				return nil, fmt.Errorf("core: dataChunk trailer has %d bytes, want 13", len(rest))
+			}
+			return &dataChunk{
+				Chunk:     c,
+				Origin:    rt.NodeID(int32(binary.LittleEndian.Uint32(rest))),
+				Forwarded: rest[4] != 0,
+				Version:   binary.LittleEndian.Uint64(rest[5:]),
+			}, nil
+		})
+
+	// chunkAck: [1B relation]
+	wire.Register(wireChunkAck, &chunkAck{},
+		func(buf []byte, m rt.Message) []byte {
+			return append(buf, byte(m.(*chunkAck).Rel))
+		},
+		func(data []byte) (rt.Message, error) {
+			if len(data) != 1 {
+				return nil, fmt.Errorf("core: chunkAck payload has %d bytes, want 1", len(data))
+			}
+			return &chunkAck{Rel: tuple.Relation(data[0])}, nil
+		})
+
+	// moveTuples: [chunk][8B version]
+	wire.Register(wireMoveTuples, &moveTuples{},
+		func(buf []byte, m rt.Message) []byte {
+			mt := m.(*moveTuples)
+			buf = mt.Chunk.AppendBinary(buf)
+			return binary.LittleEndian.AppendUint64(buf, mt.Version)
+		},
+		func(data []byte) (rt.Message, error) {
+			c, n, err := tuple.DecodeBinary(data)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode moveTuples: %w", err)
+			}
+			rest := data[n:]
+			if len(rest) != 8 {
+				return nil, fmt.Errorf("core: moveTuples trailer has %d bytes, want 8", len(rest))
+			}
+			return &moveTuples{Chunk: c, Version: binary.LittleEndian.Uint64(rest)}, nil
+		})
+
+	// cloneTuples: [chunk]
+	wire.Register(wireCloneTuples, &cloneTuples{},
+		func(buf []byte, m rt.Message) []byte {
+			return m.(*cloneTuples).Chunk.AppendBinary(buf)
+		},
+		func(data []byte) (rt.Message, error) {
+			c, n, err := tuple.DecodeBinary(data)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode cloneTuples: %w", err)
+			}
+			if n != len(data) {
+				return nil, fmt.Errorf("core: cloneTuples has %d trailing bytes", len(data)-n)
+			}
+			return &cloneTuples{Chunk: c}, nil
+		})
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+	"ehjoin/internal/wire"
+)
+
+// benchChunkMsg builds the frame that dominates TCP traffic: a full
+// dataChunk of DefaultChunkTuples tuples.
+func benchChunkMsg() *dataChunk {
+	c := &tuple.Chunk{Rel: tuple.RelS, Layout: tuple.Layout{PayloadBytes: 200}}
+	c.Tuples = make([]tuple.Tuple, tuple.DefaultChunkTuples)
+	for i := range c.Tuples {
+		c.Tuples[i] = tuple.Tuple{Index: uint64(i), Key: uint64(i) * 2654435761}
+	}
+	return &dataChunk{Chunk: c, Origin: 3, Forwarded: true, Version: 7}
+}
+
+// BenchmarkWireCodec measures encode+decode of a chunk-bearing message:
+// the hand-written binary codec against the gob stream the transport used
+// before (one persistent encoder/decoder per connection, so gob's type
+// descriptors are amortised exactly as they were on the wire).
+func BenchmarkWireCodec(b *testing.B) {
+	msg := benchChunkMsg()
+	payload := int64(msg.Chunk.BinarySize() + 13)
+
+	b.Run("binary", func(b *testing.B) {
+		buf, err := wire.AppendMessage(nil, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf, err = wire.AppendMessage(buf[:0], msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := wire.DecodeMessage(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("gob-stream", func(b *testing.B) {
+		type holder struct{ M rt.Message }
+		var bb bytes.Buffer
+		enc := gob.NewEncoder(&bb)
+		dec := gob.NewDecoder(&bb)
+		b.SetBytes(payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(&holder{M: msg}); err != nil {
+				b.Fatal(err)
+			}
+			var h holder
+			if err := dec.Decode(&h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

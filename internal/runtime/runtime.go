@@ -8,8 +8,8 @@
 //     reproducing the paper's measurements;
 //   - internal/rt: a goroutine-per-actor engine (wall-clock time) — used
 //     for correctness cross-checks and live demos;
-//   - internal/tcpnet: a TCP/gob transport running actors across real OS
-//     processes.
+//   - internal/tcpnet: a binary-framed TCP transport running actors
+//     across real OS processes.
 package runtime
 
 // NodeID identifies one logical cluster node (scheduler, data source, or

@@ -1,32 +1,43 @@
 // Package tcpnet runs the join protocol across real OS processes: a
 // coordinator process hosts the scheduler and the data sources, and worker
-// processes host join nodes. Messages travel as gob-encoded frames over
-// TCP in a star topology (worker-to-worker traffic relays through the
-// coordinator).
+// processes host join nodes. Messages travel as length-prefixed binary
+// frames over TCP in a star topology (worker-to-worker traffic relays
+// through the coordinator); the hot chunk-bearing messages use hand-written
+// binary codecs, rare control messages fall back to gob (see wire.go and
+// internal/wire).
 //
 // Quiescence (the Drain phase barrier) is detected with per-connection
 // counters: every worker reports, after fully draining its local queue,
 // how many messages it has processed and how many it has emitted. Because
-// reports follow the emitted messages on the same FIFO connection, the
-// coordinator observing
+// reports follow the emitted messages on the same FIFO connection — the
+// buffered writers preserve per-connection order and flush at every
+// blocking point — the coordinator observing
 //
 //	delivered(w) == processed(w)  and  received(w) == emitted(w)
 //
 // for every worker, with its own local queue empty, implies global
 // quiescence.
 //
+// Every connection is written by a dedicated writer goroutine behind a
+// bounded outbox, so the drain loop never blocks inside a socket write.
+// This makes the transport immune to the mutual write stall where the
+// coordinator and a worker each wait for the other to read: the drain loop
+// always returns to servicing its inbox, so the worker's writes always
+// eventually complete.
+//
 // Worker failures (closed connections, hung processes caught by the
 // heartbeat) never panic the coordinator. A failed worker is either
-// reconnected (WithReconnect), reported to a failure handler
-// (WithFailureHandler) so the join layer can run its recovery protocol, or
-// surfaced as a descriptive error from Drain.
+// reconnected asynchronously (WithReconnect — backoff sleeps happen off
+// the drain loop, so healthy workers keep draining), reported to a failure
+// handler (WithFailureHandler) so the join layer can run its recovery
+// protocol, or surfaced as a descriptive error from Drain.
 package tcpnet
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"time"
 
@@ -73,6 +84,33 @@ const (
 	DefaultHeartbeatTimeout  = 10 * time.Second
 )
 
+// Default channel capacities: the merged inbox of decoded worker frames,
+// and the per-connection writer outbox.
+const (
+	defaultInboxFrames  = 65536
+	defaultOutboxFrames = 4096
+)
+
+// workerState is the lifecycle of one worker connection.
+type workerState uint8
+
+const (
+	stateLive workerState = iota
+	stateReconnecting
+	stateDead
+)
+
+func (s workerState) String() string {
+	switch s {
+	case stateLive:
+		return "live"
+	case stateReconnecting:
+		return "reconnecting"
+	default:
+		return "dead"
+	}
+}
+
 // taggedFrame is a frame annotated with its worker index and connection
 // generation for the coordinator's merged inbox.
 type taggedFrame struct {
@@ -80,19 +118,29 @@ type taggedFrame struct {
 	gen    int
 	f      *frame
 	err    error
+	redial *redialResult
+}
+
+// redialResult is the outcome of an asynchronous reconnect attempt,
+// delivered to the drain loop through the inbox. conn == nil means every
+// attempt failed.
+type redialResult struct {
+	conn  net.Conn
+	cause error // the original failure that triggered the reconnect
 }
 
 // workerConn is the coordinator's view of one worker.
 type workerConn struct {
 	conn      net.Conn
-	enc       *gob.Encoder
-	delivered int64 // messages the coordinator wrote to this worker
-	processed int64 // last reported processed count
-	received  int64 // messages the coordinator read from this worker
-	emitted   int64 // last reported emitted count
+	out       chan *frame   // writer-goroutine outbox; non-nil only while live
+	wdone     chan struct{} // closed when the writer goroutine has exited
+	delivered int64         // messages the coordinator enqueued for this worker
+	processed int64         // last reported processed count
+	received  int64         // messages the coordinator read from this worker
+	emitted   int64         // last reported emitted count
 	lastHeard time.Time
-	gen       int  // bumped on reconnect; frames from older readLoops are stale
-	dead      bool // tombstoned: no more traffic in either direction
+	gen       int // bumped when a connection is retired; older frames are stale
+	state     workerState
 }
 
 type localDelivery struct {
@@ -118,7 +166,10 @@ type reconnectPolicy struct {
 type Coordinator struct {
 	workers    []*workerConn
 	inbox      chan taggedFrame
-	assignment map[rt.NodeID]int // node id -> worker index
+	inboxCap   int
+	outboxCap  int
+	pending    []taggedFrame // frames deferred while a full outbox was draining
+	assignment map[rt.NodeID]int
 	local      map[rt.NodeID]rt.Actor
 	queue      []localDelivery
 	start      time.Time
@@ -152,11 +203,23 @@ func WithHeartbeat(interval, timeout time.Duration) Option {
 	return func(c *Coordinator) { c.hbInterval, c.hbTimeout = interval, timeout }
 }
 
+// WithInboxFrames sizes the coordinator's merged inbox of decoded worker
+// frames (default 65536). Mostly a test hook: small inboxes exercise the
+// transport's backpressure paths.
+func WithInboxFrames(n int) Option {
+	return func(c *Coordinator) {
+		if n > 0 {
+			c.inboxCap = n
+		}
+	}
+}
+
 // WithReconnect lets the coordinator replace a failed worker connection:
-// dial is tried up to attempts times with backoff between tries. The fresh
-// worker receives the original assignment and rebuilds its actors from
-// scratch, so the failure handler still fires — actor state died with the
-// old process and the join layer must recover it.
+// dial is tried up to attempts times with backoff between tries, in a
+// background goroutine so healthy workers keep draining meanwhile. The
+// fresh worker receives the original assignment and rebuilds its actors
+// from scratch, so the failure handler still fires — actor state died with
+// the old process and the join layer must recover it.
 func WithReconnect(dial func(worker int) (net.Conn, error), attempts int, backoff time.Duration) Option {
 	return func(c *Coordinator) {
 		c.reconnect = &reconnectPolicy{dial: dial, attempts: attempts, backoff: backoff}
@@ -177,7 +240,8 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 	c := &Coordinator{
 		assignment:   assignment,
 		local:        make(map[rt.NodeID]rt.Actor),
-		inbox:        make(chan taggedFrame, 65536),
+		inboxCap:     defaultInboxFrames,
+		outboxCap:    defaultOutboxFrames,
 		start:        time.Now(),
 		cfgBlob:      cfgBlob,
 		drainTimeout: DrainTimeout,
@@ -187,6 +251,7 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 	for _, o := range opts {
 		o(c)
 	}
+	c.inbox = make(chan taggedFrame, c.inboxCap)
 	c.perWorker = make([][]int32, len(conns))
 	for id, w := range assignment {
 		if w < 0 || w >= len(conns) {
@@ -194,24 +259,67 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 		}
 		c.perWorker[w] = append(c.perWorker[w], int32(id))
 	}
+	// The assignment map's iteration order is randomised; sort each
+	// worker's id list so assignments (and everything downstream of them:
+	// actor construction order, recovery targets) are reproducible.
+	for _, ids := range c.perWorker {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
 	now := time.Now()
 	for i, conn := range conns {
-		wc := &workerConn{conn: conn, enc: gob.NewEncoder(conn), lastHeard: now}
-		if err := wc.enc.Encode(&frame{Kind: frameAssign, CfgBlob: cfgBlob, IDs: c.perWorker[i]}); err != nil {
-			return nil, fmt.Errorf("tcpnet: assign worker %d: %w", i, err)
-		}
-		c.workers = append(c.workers, wc)
+		w := &workerConn{conn: conn, lastHeard: now}
+		c.startWriter(w, conn)
+		af := getFrame()
+		af.Kind, af.CfgBlob, af.IDs = frameAssign, cfgBlob, c.perWorker[i]
+		w.out <- af
+		c.workers = append(c.workers, w)
 		go c.readLoop(i, 0, conn)
 	}
 	return c, nil
 }
 
+// startWriter attaches a fresh outbox and writer goroutine to w's current
+// connection.
+func (c *Coordinator) startWriter(w *workerConn, conn net.Conn) {
+	w.out = make(chan *frame, c.outboxCap)
+	w.wdone = make(chan struct{})
+	go writeLoop(conn, w.out, w.wdone)
+}
+
+// writeLoop owns one connection's buffered writer: it batches queued
+// frames and flushes exactly when the outbox runs dry — immediately before
+// it would block — so everything the coordinator is waiting on is on the
+// wire. On a write error it closes the connection (the failure surfaces
+// through the read loop) and keeps draining the outbox so senders are
+// never blocked behind a wedged socket. It exits when the outbox is
+// closed.
+func writeLoop(conn net.Conn, out <-chan *frame, done chan<- struct{}) {
+	defer close(done)
+	w := newWireWriter(conn)
+	var err error
+	for f := range out {
+		if err == nil {
+			err = w.WriteFrame(f)
+		}
+		putFrame(f)
+		if err == nil && len(out) == 0 {
+			err = w.Flush()
+		}
+		if err != nil {
+			_ = conn.Close()
+		}
+	}
+	if err == nil {
+		_ = w.Flush()
+	}
+}
+
 // readLoop decodes one worker connection's frames into the merged inbox.
 func (c *Coordinator) readLoop(i, gen int, conn net.Conn) {
-	dec := gob.NewDecoder(conn)
+	r := newWireReader(conn)
 	for {
-		f := new(frame)
-		if err := dec.Decode(f); err != nil {
+		f, err := r.ReadFrame()
+		if err != nil {
 			c.inbox <- taggedFrame{worker: i, gen: gen, err: err}
 			return
 		}
@@ -239,18 +347,18 @@ func (c *Coordinator) Inject(to rt.NodeID, m rt.Message) {
 func (c *Coordinator) route(from, to rt.NodeID, m rt.Message) {
 	if w, remote := c.assignment[to]; remote {
 		wc := c.workers[w]
-		if wc.dead {
+		if wc.state != stateLive {
 			// Expected during the window between a death and the join
 			// layer rerouting around it; mirrors the simulator dropping
 			// messages to crashed nodes.
 			c.dropped++
 			return
 		}
-		if err := wc.enc.Encode(&frame{Kind: frameMsg, From: int32(from), To: int32(to), Msg: m}); err != nil {
-			c.failWorker(w, fmt.Errorf("write %T to node %d: %w", m, to, err))
-			return
+		f := getFrame()
+		f.Kind, f.From, f.To, f.Msg = frameMsg, int32(from), int32(to), m
+		if c.send(w, f) {
+			wc.delivered++
 		}
-		wc.delivered++
 		return
 	}
 	if _, ok := c.local[to]; !ok {
@@ -262,29 +370,72 @@ func (c *Coordinator) route(from, to rt.NodeID, m rt.Message) {
 	c.queue = append(c.queue, localDelivery{from: from, to: to, msg: m})
 }
 
-// failWorker handles a broken worker connection: reconnect if configured,
-// then hand the (state-losing) death to the failure handler, or record it
-// as fatal for Drain to surface.
+// send enqueues f on worker i's outbox. The fast path never blocks; while
+// the outbox is full the drain loop keeps servicing the inbox (deferring
+// frames to c.pending in arrival order) so the worker's own writes — and
+// therefore its reads, and therefore this outbox — keep making progress. A
+// worker that accepts nothing for the whole stall timeout is declared
+// failed. Reports whether the frame was enqueued.
+func (c *Coordinator) send(i int, f *frame) bool {
+	w := c.workers[i]
+	select {
+	case w.out <- f:
+		return true
+	default:
+	}
+	stall := time.NewTimer(c.stallTimeout())
+	defer stall.Stop()
+	for {
+		select {
+		case w.out <- f:
+			return true
+		case tf := <-c.inbox:
+			c.pending = append(c.pending, tf)
+		case <-stall.C:
+			putFrame(f)
+			c.failWorker(i, fmt.Errorf("outbox full for %v: worker stopped draining its connection", c.stallTimeout()))
+			return false
+		}
+	}
+}
+
+// stallTimeout bounds how long a full outbox may refuse a frame before its
+// worker is declared failed.
+func (c *Coordinator) stallTimeout() time.Duration {
+	if c.hbTimeout > 0 {
+		return c.hbTimeout
+	}
+	return c.drainTimeout
+}
+
+// failWorker handles a broken worker connection: retire the connection,
+// then reconnect asynchronously if configured, otherwise tombstone the
+// worker and hand the death to the failure handler (or record it as fatal
+// for Drain to surface).
 func (c *Coordinator) failWorker(i int, cause error) {
 	w := c.workers[i]
-	if w.dead || c.closed {
+	if w.state != stateLive || c.closed {
 		return
 	}
+	close(w.out) // writer goroutine drains, flushes what it can, exits
+	w.out = nil
 	_ = w.conn.Close()
-	if c.reconnect != nil && c.redial(i) {
-		// Transport restored, but the replacement process rebuilt its
-		// actors from scratch: the old state must still be recovered.
-		c.notifyDeath(i, cause)
+	w.gen++ // frames still in flight from the old connection are stale
+	if c.reconnect != nil {
+		w.state = stateReconnecting
+		go c.redial(i, cause)
 		return
 	}
-	w.dead = true
+	w.state = stateDead
 	c.notifyDeath(i, cause)
 }
 
-// redial re-establishes worker i's connection per the reconnect policy and
-// re-sends its assignment. Reports success.
-func (c *Coordinator) redial(i int) bool {
-	w := c.workers[i]
+// redial re-establishes worker i's connection per the reconnect policy.
+// It runs in its own goroutine: backoff sleeps and slow dials happen off
+// the drain loop, so heartbeats and message relay for healthy workers
+// continue while this worker reconnects. The outcome is delivered to the
+// drain loop through the inbox.
+func (c *Coordinator) redial(i int, cause error) {
 	for attempt := 0; attempt < c.reconnect.attempts; attempt++ {
 		if attempt > 0 && c.reconnect.backoff > 0 {
 			time.Sleep(c.reconnect.backoff)
@@ -293,19 +444,45 @@ func (c *Coordinator) redial(i int) bool {
 		if err != nil {
 			continue
 		}
-		enc := gob.NewEncoder(conn)
-		if err := enc.Encode(&frame{Kind: frameAssign, CfgBlob: c.cfgBlob, IDs: c.perWorker[i]}); err != nil {
+		w := newWireWriter(conn)
+		if err := w.WriteFrame(&frame{Kind: frameAssign, CfgBlob: c.cfgBlob, IDs: c.perWorker[i]}); err != nil {
 			_ = conn.Close()
 			continue
 		}
-		w.gen++
-		w.conn, w.enc = conn, enc
-		w.delivered, w.processed, w.received, w.emitted = 0, 0, 0, 0
-		w.lastHeard = time.Now()
-		go c.readLoop(i, w.gen, conn)
-		return true
+		if err := w.Flush(); err != nil {
+			_ = conn.Close()
+			continue
+		}
+		c.inbox <- taggedFrame{worker: i, redial: &redialResult{conn: conn, cause: cause}}
+		return
 	}
-	return false
+	c.inbox <- taggedFrame{worker: i, redial: &redialResult{cause: cause}}
+}
+
+// applyRedial installs (or buries) the result of an asynchronous redial.
+func (c *Coordinator) applyRedial(i int, r *redialResult) {
+	w := c.workers[i]
+	if w.state != stateReconnecting || c.closed {
+		if r.conn != nil {
+			_ = r.conn.Close()
+		}
+		return
+	}
+	if r.conn == nil {
+		w.state = stateDead
+		c.notifyDeath(i, r.cause)
+		return
+	}
+	// Transport restored, but the replacement process rebuilt its actors
+	// from scratch: the old state must still be recovered.
+	w.conn = r.conn
+	w.gen++
+	w.delivered, w.processed, w.received, w.emitted = 0, 0, 0, 0
+	w.lastHeard = time.Now()
+	w.state = stateLive
+	c.startWriter(w, r.conn)
+	go c.readLoop(i, w.gen, r.conn)
+	c.notifyDeath(i, r.cause)
 }
 
 func (c *Coordinator) notifyDeath(i int, cause error) {
@@ -326,14 +503,19 @@ func (c *Coordinator) notifyDeath(i int, cause error) {
 }
 
 // quiescent reports whether no work remains anywhere. Dead workers are
-// excluded: their outstanding counters can never settle.
+// excluded: their outstanding counters can never settle. A reconnecting
+// worker blocks quiescence — its redial outcome, and the failure
+// notification that follows it, are still in flight.
 func (c *Coordinator) quiescent() bool {
-	if len(c.queue) > 0 {
+	if len(c.queue) > 0 || len(c.pending) > 0 {
 		return false
 	}
 	for _, w := range c.workers {
-		if w.dead {
+		switch w.state {
+		case stateDead:
 			continue
+		case stateReconnecting:
+			return false
 		}
 		if w.delivered != w.processed || w.received != w.emitted {
 			return false
@@ -353,17 +535,27 @@ func (c *Coordinator) Drain() error {
 		defer t.Stop()
 		heartbeat = t.C
 		// A worker is only expected to be responsive while we drain, so
-		// silence accumulated between Drain calls does not count.
+		// silence accumulated between Drain calls does not count. Dead and
+		// reconnecting workers are not expected to speak at all.
 		now := time.Now()
 		for _, w := range c.workers {
-			w.lastHeard = now
+			if w.state == stateLive {
+				w.lastHeard = now
+			}
 		}
 	}
 	for {
-		// Run the local queue dry first.
-		for len(c.queue) > 0 {
+		// Apply deferred transport frames (oldest first, preserving each
+		// connection's FIFO order), then run the local queue dry.
+		for len(c.pending) > 0 || len(c.queue) > 0 {
 			if c.fatal != nil {
 				return c.fatal
+			}
+			if len(c.pending) > 0 {
+				tf := c.pending[0]
+				c.pending = c.pending[1:]
+				c.apply(tf)
+				continue
 			}
 			d := c.queue[0]
 			c.queue = c.queue[1:]
@@ -390,11 +582,13 @@ func (c *Coordinator) Drain() error {
 }
 
 // pingWorkers sends one ping to every live worker and declares dead any
-// worker silent past the heartbeat timeout.
+// worker silent past the heartbeat timeout. Pings are best-effort: a full
+// outbox already proves traffic is in flight, so the ping is skipped
+// rather than queued behind it.
 func (c *Coordinator) pingWorkers() {
 	now := time.Now()
 	for i, w := range c.workers {
-		if w.dead {
+		if w.state != stateLive {
 			continue
 		}
 		if c.hbTimeout > 0 && now.Sub(w.lastHeard) > c.hbTimeout {
@@ -402,8 +596,12 @@ func (c *Coordinator) pingWorkers() {
 				now.Sub(w.lastHeard).Round(time.Millisecond), c.hbTimeout))
 			continue
 		}
-		if err := w.enc.Encode(&frame{Kind: framePing}); err != nil {
-			c.failWorker(i, fmt.Errorf("ping: %w", err))
+		f := getFrame()
+		f.Kind = framePing
+		select {
+		case w.out <- f:
+		default:
+			putFrame(f)
 		}
 	}
 }
@@ -415,21 +613,23 @@ func (c *Coordinator) timeoutError() error {
 	fmt.Fprintf(&b, "tcpnet: drain timed out after %v: %d queued local deliveries, %d dropped",
 		c.drainTimeout, len(c.queue), c.dropped)
 	for i, w := range c.workers {
-		state := "live"
-		if w.dead {
-			state = "dead"
-		}
 		fmt.Fprintf(&b, "; worker %d (%s) delivered %d processed %d received %d emitted %d",
-			i, state, w.delivered, w.processed, w.received, w.emitted)
+			i, w.state, w.delivered, w.processed, w.received, w.emitted)
 	}
 	return errors.New(b.String())
 }
 
-// absorb applies every frame already queued in the inbox without blocking.
+// absorb applies every deferred and already-queued frame without blocking.
 // Connection errors are not swallowed: apply records them via failWorker,
 // which either recovers the worker or sets the fatal error Drain returns.
 func (c *Coordinator) absorb() {
 	for {
+		if len(c.pending) > 0 {
+			tf := c.pending[0]
+			c.pending = c.pending[1:]
+			c.apply(tf)
+			continue
+		}
 		select {
 		case tf := <-c.inbox:
 			c.apply(tf)
@@ -440,9 +640,17 @@ func (c *Coordinator) absorb() {
 }
 
 func (c *Coordinator) apply(tf taggedFrame) {
+	if tf.redial != nil {
+		c.applyRedial(tf.worker, tf.redial)
+		return
+	}
 	w := c.workers[tf.worker]
-	if w.dead || tf.gen != w.gen {
-		return // stale frame from a tombstoned or replaced connection
+	if w.state != stateLive || tf.gen != w.gen {
+		// Stale frame from a tombstoned or replaced connection.
+		if tf.f != nil {
+			putFrame(tf.f)
+		}
+		return
 	}
 	if tf.err != nil {
 		if c.closed {
@@ -462,26 +670,38 @@ func (c *Coordinator) apply(tf taggedFrame) {
 	case framePong:
 		// lastHeard update above is the whole point.
 	}
+	putFrame(tf.f)
 }
 
 // NowSeconds implements runtime.Engine with wall-clock time.
 func (c *Coordinator) NowSeconds() float64 { return time.Since(c.start).Seconds() }
 
 // DroppedMessages reports how many messages were discarded because their
-// destination worker was dead.
+// destination worker was dead or reconnecting.
 func (c *Coordinator) DroppedMessages() int64 { return c.dropped }
 
-// Close shuts every live worker down and closes the connections.
+// Close shuts every live worker down, waits for each writer goroutine to
+// flush, and closes the connections.
 func (c *Coordinator) Close() {
 	if c.closed {
 		return
 	}
 	c.closed = true
 	for _, w := range c.workers {
-		if w.dead {
+		if w.state != stateLive {
 			continue
 		}
-		_ = w.enc.Encode(&frame{Kind: frameShutdown})
+		f := getFrame()
+		f.Kind = frameShutdown
+		select {
+		case w.out <- f:
+		default:
+			// Outbox jammed; the connection close below delivers EOF,
+			// which workers also treat as a clean shutdown.
+			putFrame(f)
+		}
+		close(w.out)
+		<-w.wdone
 		_ = w.conn.Close()
 	}
 }

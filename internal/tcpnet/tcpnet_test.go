@@ -13,7 +13,7 @@ import (
 
 // startWorkers launches n worker loops over real localhost TCP connections
 // and returns the coordinator-side conns.
-func startWorkers(t *testing.T, n int) ([]net.Conn, *sync.WaitGroup) {
+func startWorkers(t testing.TB, n int) ([]net.Conn, *sync.WaitGroup) {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,193 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	wire "ehjoin/internal/wire"
+)
+
+// Wire format. Every frame is length-prefixed:
+//
+//	[4-byte little-endian body length][body]
+//
+// The body starts with the frame kind byte, followed by kind-specific
+// fields (fixed-width little-endian). frameMsg payloads are encoded by
+// internal/wire: hand-written binary codecs for the hot chunk-bearing
+// messages, gob for the rare control messages.
+//
+// Both directions are buffered. The flush discipline is what keeps the
+// coordinator's quiescence predicate sound on a buffered transport: a
+// writer flushes exactly at its blocking points (the coordinator's writer
+// goroutine when its outbox runs dry, the worker before blocking on its
+// next read), and buffering preserves per-connection FIFO order, so a
+// worker's report still follows every message it emitted before it.
+
+const (
+	// maxFrameBytes bounds a single frame body; a corrupt length prefix
+	// fails fast instead of attempting a huge allocation.
+	maxFrameBytes = 1 << 30
+	// writeBufBytes/readBufBytes size the per-connection buffers; large
+	// enough to batch many control frames and a data chunk per syscall.
+	writeBufBytes = 256 << 10
+	readBufBytes  = 256 << 10
+
+	frameHeaderLen = 4
+)
+
+// framePool recycles frame structs between the read loops, the drain
+// loop, and the writer goroutines.
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func getFrame() *frame { return framePool.Get().(*frame) }
+
+// putFrame zeroes and recycles f. References f held to (message, config
+// blob) stay valid — only the frame struct itself is reused.
+func putFrame(f *frame) {
+	*f = frame{}
+	framePool.Put(f)
+}
+
+// wireWriter encodes frames onto a buffered connection. Not safe for
+// concurrent use: each connection direction has exactly one owner.
+type wireWriter struct {
+	bw      *bufio.Writer
+	scratch []byte // reused encode buffer, grown to the largest frame seen
+}
+
+func newWireWriter(w io.Writer) *wireWriter {
+	return &wireWriter{bw: bufio.NewWriterSize(w, writeBufBytes)}
+}
+
+// WriteFrame buffers one encoded frame. Call Flush before blocking.
+func (w *wireWriter) WriteFrame(f *frame) error {
+	b := append(w.scratch[:0], 0, 0, 0, 0, byte(f.Kind))
+	var err error
+	switch f.Kind {
+	case frameAssign:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.CfgBlob)))
+		b = append(b, f.CfgBlob...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.IDs)))
+		for _, id := range f.IDs {
+			b = binary.LittleEndian.AppendUint32(b, uint32(id))
+		}
+	case frameMsg:
+		b = binary.LittleEndian.AppendUint32(b, uint32(f.From))
+		b = binary.LittleEndian.AppendUint32(b, uint32(f.To))
+		if b, err = wire.AppendMessage(b, f.Msg); err != nil {
+			return err
+		}
+	case frameReport:
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.Processed))
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.Emitted))
+	case framePing, framePong, frameShutdown:
+		// kind byte only
+	default:
+		return fmt.Errorf("tcpnet: encode unknown frame kind %d", f.Kind)
+	}
+	if len(b)-frameHeaderLen-1 > maxFrameBytes {
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(b))
+	}
+	binary.LittleEndian.PutUint32(b, uint32(len(b)-frameHeaderLen))
+	w.scratch = b
+	_, err = w.bw.Write(b)
+	return err
+}
+
+// Flush pushes everything buffered onto the connection.
+func (w *wireWriter) Flush() error { return w.bw.Flush() }
+
+// wireReader decodes frames from a buffered connection.
+type wireReader struct {
+	br  *bufio.Reader
+	buf []byte // reused body buffer; decoded frames must not alias it
+}
+
+func newWireReader(r io.Reader) *wireReader {
+	return &wireReader{br: bufio.NewReaderSize(r, readBufBytes)}
+}
+
+// Buffered reports how many received-but-unparsed bytes are waiting. The
+// worker uses it to coalesce counter reports: while more input is already
+// buffered it keeps processing, and reports only when about to block.
+func (r *wireReader) Buffered() int { return r.br.Buffered() }
+
+// ReadFrame blocks for the next frame. The frame comes from framePool;
+// hand it back with putFrame once its fields have been consumed.
+func (r *wireReader) ReadFrame() (*frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 1 || n > maxFrameBytes {
+		return nil, fmt.Errorf("tcpnet: bad frame length %d", n)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	body := r.buf[:n]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return nil, fmt.Errorf("tcpnet: frame body truncated: %w", err)
+	}
+	f := getFrame()
+	f.Kind = frameKind(body[0])
+	body = body[1:]
+	bad := func() (*frame, error) {
+		kind := f.Kind
+		putFrame(f)
+		return nil, fmt.Errorf("tcpnet: truncated frame kind %d", kind)
+	}
+	switch f.Kind {
+	case frameAssign:
+		if len(body) < 4 {
+			return bad()
+		}
+		bl := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if bl < 0 || len(body) < bl+4 {
+			return bad()
+		}
+		if bl > 0 {
+			f.CfgBlob = append([]byte(nil), body[:bl]...) // body is reused; copy
+		}
+		body = body[bl:]
+		cnt := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if cnt < 0 || len(body) < 4*cnt {
+			return bad()
+		}
+		f.IDs = make([]int32, cnt)
+		for i := range f.IDs {
+			f.IDs[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+	case frameMsg:
+		if len(body) < 8 {
+			return bad()
+		}
+		f.From = int32(binary.LittleEndian.Uint32(body))
+		f.To = int32(binary.LittleEndian.Uint32(body[4:]))
+		m, err := wire.DecodeMessage(body[8:])
+		if err != nil {
+			putFrame(f)
+			return nil, err
+		}
+		f.Msg = m
+	case frameReport:
+		if len(body) < 16 {
+			return bad()
+		}
+		f.Processed = int64(binary.LittleEndian.Uint64(body))
+		f.Emitted = int64(binary.LittleEndian.Uint64(body[8:]))
+	case framePing, framePong, frameShutdown:
+		// kind byte only
+	default:
+		kind := f.Kind
+		putFrame(f)
+		return nil, fmt.Errorf("tcpnet: unknown frame kind %d", kind)
+	}
+	return f, nil
+}

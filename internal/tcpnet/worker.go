@@ -1,7 +1,6 @@
 package tcpnet
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 	"net"
@@ -19,19 +18,26 @@ type ActorFactory func(cfgBlob []byte, id rt.NodeID) (rt.Actor, error)
 // receives the assignment, constructs its actors, and processes messages
 // until the coordinator shuts it down or the connection closes. It returns
 // nil on clean shutdown.
+//
+// Writes are buffered; the worker flushes exactly when it is about to
+// block on its next read. Counter reports are coalesced the same way: one
+// report per batch of delivered messages (and only when the counters
+// actually moved), not one per message. Because the report is written
+// after the batch's emitted messages on the same FIFO connection, the
+// coordinator's quiescence predicate stays sound.
 func RunWorker(conn net.Conn, factory ActorFactory) error {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	r := newWireReader(conn)
+	ww := newWireWriter(conn)
 
-	var assign frame
-	if err := dec.Decode(&assign); err != nil {
+	assign, err := r.ReadFrame()
+	if err != nil {
 		return fmt.Errorf("tcpnet: worker read assignment: %w", err)
 	}
 	if assign.Kind != frameAssign {
 		return fmt.Errorf("tcpnet: worker expected assignment, got frame kind %d", assign.Kind)
 	}
 	w := &worker{
-		enc:    enc,
+		enc:    ww,
 		actors: make(map[rt.NodeID]rt.Actor),
 		start:  time.Now(),
 	}
@@ -42,10 +48,11 @@ func RunWorker(conn net.Conn, factory ActorFactory) error {
 		}
 		w.actors[rt.NodeID(id)] = a
 	}
+	putFrame(assign)
 
 	for {
-		f := new(frame)
-		if err := dec.Decode(f); err != nil {
+		f, err := r.ReadFrame()
+		if err != nil {
 			if err == io.EOF {
 				return nil
 			}
@@ -55,43 +62,62 @@ func RunWorker(conn net.Conn, factory ActorFactory) error {
 		case frameMsg:
 			// processed counts coordinator-delivered frames only; local
 			// cascades between this worker's actors drain synchronously
-			// inside drainLocal before the report goes out, so
+			// inside drainLocal before any report goes out, so
 			// "delivered == processed" still implies no hidden work.
 			w.processed++
 			w.queue = append(w.queue, localDelivery{
 				from: rt.NodeID(f.From), to: rt.NodeID(f.To), msg: f.Msg,
 			})
+			putFrame(f)
 			if err := w.drainLocal(); err != nil {
 				return err
 			}
 		case framePing:
 			// Liveness probe; pongs stay outside the processed/emitted
 			// counters so they cannot perturb the quiescence predicate.
-			if err := enc.Encode(&frame{Kind: framePong}); err != nil {
+			putFrame(f)
+			if err := ww.WriteFrame(&frame{Kind: framePong}); err != nil {
 				return fmt.Errorf("tcpnet: worker pong: %w", err)
 			}
 		case frameShutdown:
+			putFrame(f)
 			return nil
 		default:
-			return fmt.Errorf("tcpnet: worker got unexpected frame kind %d", f.Kind)
+			kind := f.Kind
+			putFrame(f)
+			return fmt.Errorf("tcpnet: worker got unexpected frame kind %d", kind)
+		}
+		// About to loop back into a read. If more input is already
+		// buffered we keep processing — the batch is still in progress.
+		// Otherwise this is a blocking point: report the counters (if
+		// they moved) and push everything onto the wire.
+		if r.Buffered() == 0 {
+			if err := w.report(); err != nil {
+				return err
+			}
+			if err := ww.Flush(); err != nil {
+				return fmt.Errorf("tcpnet: worker flush: %w", err)
+			}
 		}
 	}
 }
 
 // worker is the in-process state of one worker.
 type worker struct {
-	enc       *gob.Encoder
-	actors    map[rt.NodeID]rt.Actor
-	queue     []localDelivery
-	start     time.Time
-	processed int64 // cumulative coordinator-delivered frames handled
-	emitted   int64 // cumulative messages written to the coordinator
-	sendErr   error // first failed coordinator write, surfaced by drainLocal
+	enc          *wireWriter
+	actors       map[rt.NodeID]rt.Actor
+	queue        []localDelivery
+	start        time.Time
+	processed    int64 // cumulative coordinator-delivered frames handled
+	emitted      int64 // cumulative messages written to the coordinator
+	repProcessed int64 // processed as of the last report sent
+	repEmitted   int64 // emitted as of the last report sent
+	sendErr      error // first failed coordinator write, surfaced by drainLocal
 }
 
 // drainLocal processes the queue to empty (local sends between this
-// worker's actors cascade synchronously), then reports the cumulative
-// counters. Reporting only at empty-queue points keeps the coordinator's
+// worker's actors cascade synchronously). Counter reporting happens at the
+// caller's blocking points, never mid-queue, which keeps the coordinator's
 // quiescence predicate sound.
 func (w *worker) drainLocal() error {
 	env := &workerEnv{w: w}
@@ -105,10 +131,20 @@ func (w *worker) drainLocal() error {
 		env.self = d.to
 		a.Receive(env, d.from, d.msg)
 	}
-	if w.sendErr != nil {
-		return w.sendErr
+	return w.sendErr
+}
+
+// report writes a counter report if the counters moved since the last one.
+// Only called with an empty local queue, so the counters are settled.
+func (w *worker) report() error {
+	if w.processed == w.repProcessed && w.emitted == w.repEmitted {
+		return nil
 	}
-	return w.enc.Encode(&frame{Kind: frameReport, Processed: w.processed, Emitted: w.emitted})
+	if err := w.enc.WriteFrame(&frame{Kind: frameReport, Processed: w.processed, Emitted: w.emitted}); err != nil {
+		return fmt.Errorf("tcpnet: worker report: %w", err)
+	}
+	w.repProcessed, w.repEmitted = w.processed, w.emitted
+	return nil
 }
 
 // workerEnv implements runtime.Env for worker-hosted actors.
@@ -135,7 +171,7 @@ func (e *workerEnv) Send(to rt.NodeID, m rt.Message) {
 	if e.w.sendErr != nil {
 		return
 	}
-	if err := e.w.enc.Encode(&frame{Kind: frameMsg, From: int32(e.self), To: int32(to), Msg: m}); err != nil {
+	if err := e.w.enc.WriteFrame(&frame{Kind: frameMsg, From: int32(e.self), To: int32(to), Msg: m}); err != nil {
 		e.w.sendErr = fmt.Errorf("tcpnet: worker write %T to node %d: %w", m, to, err)
 		return
 	}

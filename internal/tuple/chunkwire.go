@@ -1,0 +1,68 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary chunk encoding for the TCP transport's hot path. The layout is
+// fixed-width little-endian:
+//
+//	[1-byte relation][4-byte payload size][4-byte tuple count]
+//	[count × (8-byte index, 8-byte key)]
+//
+// Only the materialised 16 bytes per tuple cross the wire; the logical
+// payload is carried as its size, exactly as it is held in memory.
+
+// chunkHeaderBytes is the fixed-size prefix before the tuple array.
+const chunkHeaderBytes = 1 + 4 + 4
+
+// BinarySize returns the exact number of bytes AppendBinary will emit.
+func (c *Chunk) BinarySize() int { return chunkHeaderBytes + PhysicalSize*len(c.Tuples) }
+
+// AppendBinary appends the chunk's binary encoding to buf and returns the
+// extended slice. The buffer is grown at most once.
+func (c *Chunk) AppendBinary(buf []byte) []byte {
+	if need := c.BinarySize(); cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = append(buf, byte(c.Rel))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Layout.PayloadBytes))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Tuples)))
+	off := len(buf)
+	buf = buf[:off+PhysicalSize*len(c.Tuples)]
+	for i := range c.Tuples {
+		binary.LittleEndian.PutUint64(buf[off:], c.Tuples[i].Index)
+		binary.LittleEndian.PutUint64(buf[off+8:], c.Tuples[i].Key)
+		off += PhysicalSize
+	}
+	return buf
+}
+
+// DecodeBinary parses one chunk from the front of data, returning the chunk
+// and the number of bytes consumed. The chunk shares no memory with data.
+func DecodeBinary(data []byte) (*Chunk, int, error) {
+	if len(data) < chunkHeaderBytes {
+		return nil, 0, fmt.Errorf("tuple: chunk header truncated (%d bytes)", len(data))
+	}
+	rel := Relation(data[0])
+	payload := int(int32(binary.LittleEndian.Uint32(data[1:5])))
+	n := int(binary.LittleEndian.Uint32(data[5:9]))
+	if n < 0 || n > (len(data)-chunkHeaderBytes)/PhysicalSize {
+		return nil, 0, fmt.Errorf("tuple: chunk of %d tuples exceeds %d available bytes",
+			n, len(data)-chunkHeaderBytes)
+	}
+	c := &Chunk{Rel: rel, Layout: Layout{PayloadBytes: payload}}
+	if n > 0 {
+		c.Tuples = make([]Tuple, n)
+		off := chunkHeaderBytes
+		for i := range c.Tuples {
+			c.Tuples[i].Index = binary.LittleEndian.Uint64(data[off:])
+			c.Tuples[i].Key = binary.LittleEndian.Uint64(data[off+8:])
+			off += PhysicalSize
+		}
+	}
+	return c, chunkHeaderBytes + PhysicalSize*n, nil
+}

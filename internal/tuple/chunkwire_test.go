@@ -1,0 +1,70 @@
+package tuple
+
+import "testing"
+
+func TestChunkBinaryRoundTrip(t *testing.T) {
+	in := &Chunk{Rel: RelS, Layout: Layout{PayloadBytes: 200}}
+	for i := 0; i < 1000; i++ {
+		in.Tuples = append(in.Tuples, Tuple{Index: uint64(i), Key: uint64(i) * 2654435761})
+	}
+	buf := in.AppendBinary(nil)
+	if len(buf) != in.BinarySize() {
+		t.Fatalf("AppendBinary emitted %d bytes, BinarySize says %d", len(buf), in.BinarySize())
+	}
+	out, n, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("DecodeBinary consumed %d of %d bytes", n, len(buf))
+	}
+	if out.Rel != in.Rel || out.Layout != in.Layout || len(out.Tuples) != len(in.Tuples) {
+		t.Fatalf("header mismatch: got %+v rel=%d, want %+v rel=%d", out.Layout, out.Rel, in.Layout, in.Rel)
+	}
+	for i := range in.Tuples {
+		if out.Tuples[i] != in.Tuples[i] {
+			t.Fatalf("tuple %d: got %+v, want %+v", i, out.Tuples[i], in.Tuples[i])
+		}
+	}
+}
+
+func TestChunkBinaryEmpty(t *testing.T) {
+	in := &Chunk{Rel: RelR, Layout: Layout{PayloadBytes: 100}}
+	buf := in.AppendBinary(nil)
+	out, n, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != chunkHeaderBytes || len(out.Tuples) != 0 {
+		t.Fatalf("empty chunk: consumed %d bytes, %d tuples", n, len(out.Tuples))
+	}
+	if out.Rel != RelR || out.Layout.PayloadBytes != 100 {
+		t.Fatalf("empty chunk header mismatch: %+v", out)
+	}
+}
+
+func TestChunkBinaryAppendsInPlace(t *testing.T) {
+	prefix := []byte("prefix")
+	in := &Chunk{Rel: RelR, Tuples: []Tuple{{Index: 1, Key: 2}}}
+	buf := in.AppendBinary(append([]byte(nil), prefix...))
+	if string(buf[:len(prefix)]) != string(prefix) {
+		t.Fatalf("prefix clobbered: %q", buf[:len(prefix)])
+	}
+	out, _, err := DecodeBinary(buf[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tuples[0] != in.Tuples[0] {
+		t.Fatalf("got %+v, want %+v", out.Tuples[0], in.Tuples[0])
+	}
+}
+
+func TestChunkBinaryTruncated(t *testing.T) {
+	in := &Chunk{Rel: RelS, Tuples: []Tuple{{1, 2}, {3, 4}}}
+	buf := in.AppendBinary(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeBinary(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", cut, len(buf))
+		}
+	}
+}

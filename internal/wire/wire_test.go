@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	rt "ehjoin/internal/runtime"
+)
+
+// gobOnlyMsg has no registered codec, so it always rides the gob fallback.
+type gobOnlyMsg struct {
+	Text string
+}
+
+func (m *gobOnlyMsg) WireSize() int { return len(m.Text) }
+
+// binMsg gets a hand-written codec registered in init.
+type binMsg struct {
+	A uint64
+	B uint32
+}
+
+func (m *binMsg) WireSize() int { return 12 }
+
+func init() {
+	gob.Register(&gobOnlyMsg{})
+	gob.Register(&binMsg{})
+	Register(200, &binMsg{},
+		func(buf []byte, m rt.Message) []byte {
+			bm := m.(*binMsg)
+			buf = binary.LittleEndian.AppendUint64(buf, bm.A)
+			return binary.LittleEndian.AppendUint32(buf, bm.B)
+		},
+		func(data []byte) (rt.Message, error) {
+			if len(data) != 12 {
+				return nil, fmt.Errorf("binMsg payload %d bytes, want 12", len(data))
+			}
+			return &binMsg{
+				A: binary.LittleEndian.Uint64(data),
+				B: binary.LittleEndian.Uint32(data[8:]),
+			}, nil
+		})
+}
+
+func roundTrip(t *testing.T, m rt.Message) rt.Message {
+	t.Helper()
+	buf, err := AppendMessage(nil, m)
+	if err != nil {
+		t.Fatalf("AppendMessage(%T): %v", m, err)
+	}
+	got, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatalf("DecodeMessage(%T): %v", m, err)
+	}
+	return got
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	in := &binMsg{A: 0xdeadbeefcafe, B: 42}
+	buf, err := AppendMessage(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 200 {
+		t.Fatalf("registered message used codec id %d, want 200", buf[0])
+	}
+	if len(buf) != 1+12 {
+		t.Fatalf("binary encoding is %d bytes, want 13", len(buf))
+	}
+	got, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm, ok := got.(*binMsg); !ok || *bm != *in {
+		t.Fatalf("round trip: got %#v, want %#v", got, in)
+	}
+}
+
+func TestGobFallbackRoundTrip(t *testing.T) {
+	in := &gobOnlyMsg{Text: "no codec registered"}
+	buf, err := AppendMessage(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != gobFallback {
+		t.Fatalf("unregistered message used codec id %d, want %d", buf[0], gobFallback)
+	}
+	got := roundTrip(t, in)
+	if gm, ok := got.(*gobOnlyMsg); !ok || gm.Text != in.Text {
+		t.Fatalf("round trip: got %#v, want %#v", got, in)
+	}
+}
+
+func TestSetBinaryForcesGob(t *testing.T) {
+	prev := SetBinary(false)
+	defer SetBinary(prev)
+	in := &binMsg{A: 7, B: 9}
+	buf, err := AppendMessage(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != gobFallback {
+		t.Fatalf("with binary disabled, codec id is %d, want %d", buf[0], gobFallback)
+	}
+	// The decode side keys off the id byte, so gob-encoded frames decode
+	// regardless of the local setting: mixed processes interoperate.
+	SetBinary(true)
+	got, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm, ok := got.(*binMsg); !ok || *bm != *in {
+		t.Fatalf("round trip: got %#v, want %#v", got, in)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Error("empty payload decoded without error")
+	}
+	if _, err := DecodeMessage([]byte{199, 1, 2}); err == nil {
+		t.Error("unknown codec id decoded without error")
+	}
+	if _, err := DecodeMessage([]byte{200, 1, 2}); err == nil {
+		t.Error("truncated binMsg payload decoded without error")
+	}
+	var bb bytes.Buffer
+	bb.WriteByte(gobFallback)
+	bb.WriteString("not a gob stream")
+	if _, err := DecodeMessage(bb.Bytes()); err == nil {
+		t.Error("corrupt gob payload decoded without error")
+	}
+}
