@@ -19,6 +19,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -46,6 +47,7 @@ func main() {
 		kill     = flag.String("kill", "", "kill spawned worker W at T seconds wall time, format W@T (fault-injection demo; needs -spawn)")
 		recover_ = flag.Bool("recover", false, "survive worker deaths: re-stream lost state via the scheduler instead of aborting")
 		wireMode = flag.String("wire", "binary", "message encoding on the wire: binary|gob")
+		cores    = flag.Int("cores", 1, "intra-node morsel parallelism per join node (0 = each worker's GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cores == 0 {
+		// 0 = auto: each worker process substitutes its own GOMAXPROCS
+		// (joind -cores 0, or the spawned-worker path below).
+		*cores = runtime.GOMAXPROCS(0)
+	}
 	cfg := core.Config{
 		Algorithm:     alg,
 		InitialNodes:  *initial,
@@ -86,6 +93,7 @@ func main() {
 		Sources:       2,
 		MemoryBudget:  *budget,
 		ChunkTuples:   1000,
+		Cores:         *cores,
 		Build:         datagen.Spec{Dist: datagen.Uniform, Tuples: *rTuples, Seed: 1},
 		Probe:         datagen.Spec{Dist: datagen.Uniform, Tuples: *sTuples, Seed: 2},
 		MatchFraction: 1.0,
@@ -196,6 +204,10 @@ func main() {
 		float64(*rTuples+*sTuples)/elapsed, *wireMode)
 	fmt.Printf("ehjadist: nodes %d -> %d, splits %d, replications %d\n",
 		report.InitialNodes, report.FinalNodes, report.Splits, report.Replications)
+	if report.Cores > 1 {
+		fmt.Printf("ehjadist: %d cores/node, %d morsels, pool utilization %.0f%%\n",
+			report.Cores, report.PoolMorsels, 100*report.PoolUtilization)
+	}
 	if report.NodesLost > 0 {
 		fmt.Printf("ehjadist: lost %d node(s), recovered %d in %.3fs, re-streamed %d chunks (%d tuples)\n",
 			report.NodesLost, report.NodesRecovered, report.RecoverySec,

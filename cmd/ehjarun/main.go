@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -102,6 +103,7 @@ func main() {
 		timeline    = flag.Bool("timeline", false, "render a per-node virtual-time utilisation timeline")
 		materialize = flag.Bool("materialize", false, "retain join output in memory; probe-phase expansion applies (paper footnote 1)")
 		faults      = flag.String("faults", "", "crash join nodes at virtual times: NODE@ATSEC[:DETECTSEC],... (e.g. 0@1.5,3@2:0.05)")
+		cores       = flag.Int("cores", 1, "intra-node morsel parallelism per join node (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -132,8 +134,13 @@ func main() {
 		policy = spill.HybridHash
 	}
 
+	if *cores == 0 {
+		*cores = runtime.GOMAXPROCS(0)
+	}
+
 	layout := tuple.LayoutForTupleSize(*tupleSize)
 	cfg := core.Config{
+		Cores:             *cores,
 		Algorithm:         alg,
 		InitialNodes:      *initial,
 		MaxNodes:          *maxNodes,
@@ -190,6 +197,12 @@ func main() {
 			fmt.Println("recovery: DEGRADED — some losses were unrecoverable; result may be incomplete")
 		}
 	}
+	if r.Cores > 1 {
+		fmt.Printf("cores: %d per node; pool %d morsels, busy %.2fs over %.2fs span "+
+			"(utilization %.0f%%), critical path %.2fs\n",
+			r.Cores, r.PoolMorsels, r.PoolBusySec, r.PoolSpanSec,
+			100*r.PoolUtilization, r.PoolCritSec)
+	}
 	if *verbose {
 		for i, l := range r.NodeLoads {
 			var util string
@@ -197,6 +210,9 @@ func main() {
 				util = fmt.Sprintf("  cpu %6.2fs  disk %6.2fs", r.NodeCPUSecs[i], r.NodeDiskSecs[i])
 			}
 			fmt.Printf("  node %2d: %9d tuples%s\n", i, l, util)
+			if i < len(r.NodeShardLoads) && r.Cores > 1 {
+				fmt.Printf("           shards %v\n", r.NodeShardLoads[i])
+			}
 		}
 	}
 	if rec != nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 
 	"ehjoin/internal/core"
 	rt "ehjoin/internal/runtime"
@@ -22,6 +23,7 @@ import (
 func main() {
 	connect := flag.String("connect", "127.0.0.1:7420", "coordinator address")
 	wireMode := flag.String("wire", "binary", "message encoding on the wire: binary|gob")
+	cores := flag.Int("cores", 0, "override intra-node morsel parallelism on this worker (0 = inherit coordinator config, -1 = this host's GOMAXPROCS)")
 	flag.Parse()
 
 	switch *wireMode {
@@ -45,6 +47,13 @@ func main() {
 		cfg, err := core.DecodeConfig(blob)
 		if err != nil {
 			return nil, err
+		}
+		// A heterogeneous cluster may want a different parallelism per
+		// host than the coordinator's blanket setting.
+		if *cores == -1 {
+			cfg.Cores = runtime.GOMAXPROCS(0)
+		} else if *cores > 0 {
+			cfg.Cores = *cores
 		}
 		return core.NewJoinActor(cfg, id)
 	}

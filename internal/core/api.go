@@ -145,6 +145,10 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		RestreamedChunks: sched.restreamedChunks,
 		RestreamedTuples: sched.restreamedTuples,
 		Degraded:         sched.degraded || sched.recoveryFailed,
+		Events:           sched.events,
+	}
+	if cfg.Cores > 1 {
+		r.Cores = cfg.Cores
 	}
 
 	wantJoin := cfg.MaxNodes - len(sched.deadNodes)
@@ -192,6 +196,16 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		r.OutputBytes += j.OutputBytes
 		r.PurgedTuples += j.Purged
 		r.DroppedStaleTuples += j.DroppedStale
+		if len(j.ShardLoads) > 0 {
+			r.NodeShardLoads = append(r.NodeShardLoads, j.ShardLoads)
+			r.PoolBusySec += float64(j.PoolBusyNs) / 1e9
+			r.PoolCritSec += float64(j.PoolCritNs) / 1e9
+			r.PoolSpanSec += float64(j.PoolSpanNs) / 1e9
+			r.PoolMorsels += j.Morsels
+		}
+	}
+	if r.PoolSpanSec > 0 && r.Cores > 1 {
+		r.PoolUtilization = r.PoolBusySec / (r.PoolSpanSec * float64(r.Cores))
 	}
 	for _, s := range sched.sourceStats {
 		probeExtraTuples += s.ProbeExtraCopies

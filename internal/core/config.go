@@ -106,6 +106,15 @@ type Config struct {
 	// fills: spill.Grace (the paper's basic algorithm, default) or
 	// spill.HybridHash (a stronger baseline, for ablation).
 	OOCPolicy spill.Policy
+	// Cores is the intra-node morsel-parallelism degree: each join node
+	// shards its hash table into Cores partition-local tables (shard =
+	// routing position mod Cores) and runs build inserts and probe
+	// lookups as per-shard morsels on a process-wide goroutine pool.
+	// 0 or 1 selects the serial core. The sharded core is
+	// result-identical to the serial one (see the differential oracle
+	// tests); the out-of-core baseline ignores it (its state lives in
+	// the spill manager, not the table).
+	Cores int
 	// MaterializeOutput makes join nodes retain their matches in memory
 	// (as a downstream in-memory operator would require) instead of
 	// streaming them out. Accumulated output then competes with the hash
@@ -167,6 +176,12 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.Probe.Layout.PayloadBytes == 0 {
 		c.Probe.Layout = tuple.DefaultLayout()
+	}
+	if c.Cores == 0 {
+		c.Cores = 1
+	}
+	if c.Cores < 0 || c.Cores > 256 {
+		return c, fmt.Errorf("core: Cores %d outside [1,256]", c.Cores)
 	}
 	if c.InitialNodes <= 0 {
 		return c, fmt.Errorf("core: InitialNodes must be positive, got %d", c.InitialNodes)

@@ -24,8 +24,39 @@ func TestRandomizedConfigurations(t *testing.T) {
 	const iterations = 60
 	rng := rand.New(rand.NewSource(20260704))
 	for it := 0; it < iterations; it++ {
+		fuzzOneConfig(t, rng, it, 0)
+	}
+}
+
+// TestRandomizedShardedConfigurations re-runs the randomized sweep with
+// intra-node morsel parallelism enabled, on a disjoint seed so the serial
+// corpus above keeps its historical draws. Replication and Hybrid are
+// over-weighted so probe-phase broadcast and reshuffle run under sharding
+// in most iterations.
+func TestRandomizedShardedConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep skipped in -short mode")
+	}
+	const iterations = 30
+	rng := rand.New(rand.NewSource(20260704 + 1))
+	for it := 0; it < iterations; it++ {
+		cores := []int{2, 3, 4, 8}[rng.Intn(4)]
+		fuzzOneConfig(t, rng, it, cores)
+	}
+}
+
+func fuzzOneConfig(t *testing.T, rng *rand.Rand, it, cores int) {
+	t.Helper()
+	{
 		algs := Algorithms()
 		alg := algs[rng.Intn(len(algs))]
+		if cores > 0 {
+			// Two thirds of sharded iterations pin the broadcast- and
+			// reshuffle-heavy algorithms; the rest keep the uniform draw.
+			if p := rng.Intn(3); p > 0 {
+				alg = []Algorithm{Replication, Hybrid}[p-1]
+			}
+		}
 		maxNodes := 2 + rng.Intn(14)
 		initial := 1 + rng.Intn(maxNodes)
 		rTuples := int64(1_000 + rng.Intn(40_000))
@@ -71,6 +102,13 @@ func TestRandomizedConfigurations(t *testing.T) {
 		}
 		if alg != OutOfCore && rng.Intn(3) == 0 {
 			cfg.MaterializeOutput = true
+		}
+		if cores > 0 {
+			cfg.Cores = cores
+			if rng.Intn(2) == 0 {
+				cfg.Cost = rt.OSUMed()
+				cfg.Cost.SerialParallelCharge = true
+			}
 		}
 
 		wantMatches, wantChecksum := referenceJoin(t, cfg)

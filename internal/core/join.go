@@ -9,6 +9,21 @@ import (
 	"ehjoin/internal/tuple"
 )
 
+// nodeTable is the join node's local store: the serial hashtable.Table
+// or the sharded parallel wrapper. Every aggregate the protocol reads
+// (Count, Bytes, CountsInRange) is representation-independent, which is
+// what keeps the overflow/split/replicate/purge semantics identical
+// across core counts.
+type nodeTable interface {
+	Insert(tuple.Tuple)
+	Probe(key uint64, fn func(build tuple.Tuple)) int
+	Count() int64
+	Bytes() int64
+	CountsInRange(hashfn.Range) []int64
+	ExtractRange(hashfn.Range) []tuple.Tuple
+	ForEach(func(tuple.Tuple))
+}
+
 // joinActor is one join process (§4.1.3). It builds and maintains its
 // portion of the hash table, reports bucket overflow to the scheduler,
 // participates in splits / replication hand-offs / reshuffling according to
@@ -21,8 +36,12 @@ type joinActor struct {
 	active bool
 	rng    hashfn.Range  // authoritative owned range
 	route  *hashfn.Table // latest routing-table copy (for stray forwarding)
-	table  *hashtable.Table
-	spill  *spill.Manager // out-of-core only
+	table  nodeTable
+	// sharded is non-nil when Config.Cores > 1: the same object as table,
+	// with the parallel batch entry points the chunk hot path uses.
+	sharded *hashtable.Sharded
+	owned   []tuple.Tuple  // insertOrForward's in-range scratch
+	spill   *spill.Manager // out-of-core only
 
 	// Overflow-reporting state.
 	lastReport  int64 // table bytes when memFull was last sent
@@ -66,7 +85,15 @@ type joinActor struct {
 
 func newJoin(cfg Config, id rt.NodeID) *joinActor {
 	j := &joinActor{cfg: cfg, id: id, budget: cfg.budgetOf(id), forwardTo: rt.NoNode}
-	j.table = hashtable.New(cfg.Space, cfg.Build.Layout)
+	if cfg.Cores > 1 && cfg.Algorithm != OutOfCore {
+		// The out-of-core baseline keeps the serial table: its build state
+		// lives in the spill manager, which the table never sees.
+		j.sharded = hashtable.NewSharded(cfg.Space, cfg.Build.Layout, cfg.Cores,
+			hashtable.SharedPool(cfg.Cores))
+		j.table = j.sharded
+	} else {
+		j.table = hashtable.New(cfg.Space, cfg.Build.Layout)
+	}
 	if cfg.Algorithm == OutOfCore {
 		j.spill = spill.NewWithPolicy(cfg.Space, cfg.Build.Layout, cfg.Probe.Layout,
 			j.budget, cfg.SpillPartitions, cfg.Cost, cfg.OOCPolicy)
@@ -150,8 +177,7 @@ func (j *joinActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 		j.onCloneTable(env, msg)
 	case *cloneTuples:
 		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
-		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(msg.Chunk.Tuples)))
-		j.table.InsertChunk(msg.Chunk)
+		j.insertBatch(env, msg.Chunk.Tuples)
 		j.cloneReceived += int64(len(msg.Chunk.Tuples))
 		j.maybeReleaseHeldProbes(env)
 	case *cloneEnd:
@@ -224,6 +250,13 @@ func (j *joinActor) snapshot() *joinStats {
 		s.SpillReadBytes = j.spill.SpillReadBytes
 		s.BNLPasses = j.spill.BNLPasses
 	}
+	// Spare nodes that never activated have nothing to report; keeping
+	// their stats message shard-free makes the parallel run's wire cost
+	// exactly serial + one histogram per participating node.
+	if j.sharded != nil && j.active {
+		s.ShardLoads = j.sharded.ShardLoads()
+		s.PoolBusyNs, s.PoolCritNs, s.PoolSpanNs, s.Morsels, _ = j.sharded.ExecStats()
+	}
 	return s
 }
 
@@ -294,8 +327,7 @@ func (j *joinActor) onMoveTuples(env rt.Env, c *tuple.Chunk, v uint64) {
 		// was in flight; re-forward any strays.
 		j.insertOrForward(env, c, v)
 	} else {
-		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(c.Tuples)))
-		j.table.InsertChunk(c)
+		j.insertBatch(env, c.Tuples)
 	}
 	j.checkOverflow(env, c.LogicalBytes())
 }
@@ -341,10 +373,54 @@ func (j *joinActor) onBuildChunk(env rt.Env, c *tuple.Chunk, v uint64) {
 	if j.cfg.Algorithm == Split {
 		j.insertOrForward(env, c, v)
 	} else {
-		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(c.Tuples)))
-		j.table.InsertChunk(c)
+		j.insertBatch(env, c.Tuples)
 	}
 	j.checkOverflow(env, c.LogicalBytes())
+}
+
+// insertBatch inserts a batch of build tuples — as parallel per-shard
+// morsels on a sharded core, serially otherwise — and charges the
+// corresponding CPU cost.
+func (j *joinActor) insertBatch(env rt.Env, ts []tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if j.sharded == nil {
+		env.ChargeCPU(j.cfg.Cost.BuildNs * int64(len(ts)))
+		for _, t := range ts {
+			j.table.Insert(t)
+		}
+		return
+	}
+	j.chargeBatch(env, j.cfg.Cost.BuildNs, j.sharded.InsertAll(ts))
+}
+
+// chargeBatch accounts a parallel batch's CPU. Under SerialParallelCharge
+// it charges exactly the serial sum, pinning the simulated schedule to
+// the serial run's (the differential oracle's lever); otherwise it
+// charges the critical path across shards plus per-morsel dispatch
+// overhead — the simulator's model of intra-node speedup.
+func (j *joinActor) chargeBatch(env rt.Env, perTupleNs int64, st hashtable.ParallelStats) {
+	cost := &j.cfg.Cost
+	if cost.SerialParallelCharge {
+		env.ChargeCPU(perTupleNs*st.Total() + cost.MatchNs*st.TotalMatches())
+		return
+	}
+	var crit, active int64
+	for i, n := range st.Tuples {
+		if n == 0 {
+			continue
+		}
+		active++
+		w := perTupleNs * n
+		if st.Matches != nil {
+			w += cost.MatchNs * st.Matches[i]
+		}
+		if w > crit {
+			crit = w
+		}
+	}
+	env.ChargeCPU(crit + cost.MorselNs*active)
 }
 
 // insertOrForward inserts the tuples belonging to this node's range and
@@ -354,37 +430,33 @@ func (j *joinActor) onBuildChunk(env rt.Env, c *tuple.Chunk, v uint64) {
 // finally surfaces.
 func (j *joinActor) insertOrForward(env rt.Env, c *tuple.Chunk, v uint64) {
 	var strays map[rt.NodeID]*tuple.Builder
-	inserted := 0
+	owned := j.owned[:0]
 	for _, t := range c.Tuples {
 		p := j.cfg.Space.PositionOf(t.Key)
-		if j.rng.Contains(p) {
-			j.table.Insert(t)
-			inserted++
-			continue
-		}
-		j.strayBuild++
-		dest := rt.NodeID(j.route.BuildOwnerOf(p))
-		if dest == j.id {
+		if !j.rng.Contains(p) {
+			j.strayBuild++
+			if dest := rt.NodeID(j.route.BuildOwnerOf(p)); dest != j.id {
+				if strays == nil {
+					strays = make(map[rt.NodeID]*tuple.Builder)
+				}
+				b := strays[dest]
+				if b == nil {
+					b = tuple.NewBuilder(c.Rel, c.Layout, j.cfg.ChunkTuples)
+					strays[dest] = b
+				}
+				env.ChargeCPU(j.cfg.Cost.MoveNs)
+				if full := b.Add(t); full != nil {
+					j.sendForward(env, dest, full, v)
+				}
+				continue
+			}
 			// Routing disagreement can only be transient; treat the tuple
 			// as ours rather than looping it through the network.
-			j.table.Insert(t)
-			inserted++
-			continue
 		}
-		if strays == nil {
-			strays = make(map[rt.NodeID]*tuple.Builder)
-		}
-		b := strays[dest]
-		if b == nil {
-			b = tuple.NewBuilder(c.Rel, c.Layout, j.cfg.ChunkTuples)
-			strays[dest] = b
-		}
-		env.ChargeCPU(j.cfg.Cost.MoveNs)
-		if full := b.Add(t); full != nil {
-			j.sendForward(env, dest, full, v)
-		}
+		owned = append(owned, t)
 	}
-	env.ChargeCPU(j.cfg.Cost.BuildNs * int64(inserted))
+	j.insertBatch(env, owned)
+	j.owned = owned[:0]
 	for _, dest := range sortedNodeIDs(strays) {
 		if part := strays[dest].Flush(); part != nil {
 			j.sendForward(env, dest, part, v)
@@ -502,14 +574,23 @@ func (j *joinActor) onProbeChunk(env rt.Env, c *tuple.Chunk) {
 		j.probeAndForward(env, c)
 		return
 	}
-	env.ChargeCPU(j.cfg.Cost.ProbeNs * int64(len(c.Tuples)))
-	for _, s := range c.Tuples {
-		n := j.table.Probe(s.Key, func(r tuple.Tuple) {
-			j.checksum ^= spill.MixPair(r.Index, s.Index)
+	if j.sharded != nil {
+		m, x, st := j.sharded.ProbeAll(c.Tuples, func(b, s tuple.Tuple) uint64 {
+			return spill.MixPair(b.Index, s.Index)
 		})
-		if n > 0 {
-			j.matches += uint64(n)
-			env.ChargeCPU(j.cfg.Cost.MatchNs * int64(n))
+		j.matches += uint64(m)
+		j.checksum ^= x
+		j.chargeBatch(env, j.cfg.Cost.ProbeNs, st)
+	} else {
+		env.ChargeCPU(j.cfg.Cost.ProbeNs * int64(len(c.Tuples)))
+		for _, s := range c.Tuples {
+			n := j.table.Probe(s.Key, func(r tuple.Tuple) {
+				j.checksum ^= spill.MixPair(r.Index, s.Index)
+			})
+			if n > 0 {
+				j.matches += uint64(n)
+				env.ChargeCPU(j.cfg.Cost.MatchNs * int64(n))
+			}
 		}
 	}
 	if j.cfg.MaterializeOutput {

@@ -295,9 +295,16 @@ type joinStats struct {
 	BNLPasses         int64
 	Purged            int64 // tuples discarded by failure-recovery purges
 	DroppedStale      int64 // stale tuples discarded at re-stream barriers
+
+	// Sharded-core execution statistics (Config.Cores > 1 only).
+	ShardLoads []int64 // per-shard stored build tuples (occupancy)
+	PoolBusyNs int64   // Σ morsel execution time on the worker pool
+	PoolCritNs int64   // Σ per-batch critical path across shards
+	PoolSpanNs int64   // Σ parallel-section wall time (incl. barrier)
+	Morsels    int64   // morsels dispatched to the pool
 }
 
-func (*joinStats) WireSize() int { return 128 }
+func (m *joinStats) WireSize() int { return 128 + 8*len(m.ShardLoads) }
 
 // sourceStats is a data source's statistics snapshot.
 type sourceStats struct {

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ehjoin/internal/datagen"
+	rt "ehjoin/internal/runtime"
+)
+
+// The protocol-level differential oracle: a cores=P run must be
+// indistinguishable from the serial run. Under SerialParallelCharge the
+// sharded core charges exactly the serial CPU sums, so the simulated
+// schedule — every message, every overflow report, every split and
+// replication decision — is pinned to the serial run's; the real
+// goroutine pool still executes every chunk as parallel morsels. Any
+// divergence in result, event sequence, node loads, or virtual time is
+// therefore a bug in the sharded core.
+
+func oracleConfig(alg Algorithm, dist datagen.Dist, seed uint64) Config {
+	build := datagen.Spec{Dist: dist, Tuples: 30_000, Seed: seed}
+	probe := datagen.Spec{Dist: dist, Tuples: 30_000, Seed: seed + 1}
+	if dist == datagen.Gaussian {
+		build.Mean, build.Sigma = 0.5, 0.001
+		probe.Mean, probe.Sigma = 0.5, 0.001
+	}
+	cfg := Config{
+		Algorithm:     alg,
+		InitialNodes:  2,
+		MaxNodes:      10,
+		Sources:       3,
+		MemoryBudget:  400 << 10,
+		ChunkTuples:   1000,
+		Build:         build,
+		Probe:         probe,
+		MatchFraction: 0.5,
+	}
+	cfg.Cost = rt.OSUMed()
+	cfg.Cost.SerialParallelCharge = true
+	return cfg
+}
+
+// TestDifferentialOracleShardedVsSerial runs every expanding algorithm ×
+// key distribution × seed serially and at several core counts, and
+// demands the parallel runs be message-for-message equivalent: identical
+// join result, expansion-event sequence, per-node loads, transport
+// totals, and virtual-time phase boundaries.
+func TestDifferentialOracleShardedVsSerial(t *testing.T) {
+	for _, alg := range []Algorithm{Split, Replication, Hybrid} {
+		for _, dist := range []datagen.Dist{datagen.Uniform, datagen.Gaussian} {
+			for seed := uint64(11); seed <= 33; seed += 11 {
+				alg, dist, seed := alg, dist, seed
+				name := alg.String() + "/" + map[datagen.Dist]string{
+					datagen.Uniform: "uniform", datagen.Gaussian: "skewed",
+				}[dist]
+				t.Run(name, func(t *testing.T) {
+					cfg := oracleConfig(alg, dist, seed)
+					wantMatches, wantChecksum := referenceJoin(t, cfg)
+					serial, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("serial: %v", err)
+					}
+					if serial.Matches != wantMatches || serial.Checksum != wantChecksum {
+						t.Fatalf("serial run wrong before comparing: %d/%#x, want %d/%#x",
+							serial.Matches, serial.Checksum, wantMatches, wantChecksum)
+					}
+					for _, cores := range []int{2, 4} {
+						cfg.Cores = cores
+						par, err := Run(cfg)
+						if err != nil {
+							t.Fatalf("cores=%d: %v", cores, err)
+						}
+						assertRunsEquivalent(t, cores, serial, par)
+					}
+				})
+			}
+		}
+	}
+}
+
+func assertRunsEquivalent(t *testing.T, cores int, serial, par *Report) {
+	t.Helper()
+	if par.Matches != serial.Matches || par.Checksum != serial.Checksum {
+		t.Errorf("cores=%d: result %d/%#x, want %d/%#x",
+			cores, par.Matches, par.Checksum, serial.Matches, serial.Checksum)
+	}
+	if !reflect.DeepEqual(par.Events, serial.Events) {
+		t.Errorf("cores=%d: expansion event sequences diverge:\n got %+v\nwant %+v",
+			cores, par.Events, serial.Events)
+	}
+	if !reflect.DeepEqual(par.NodeLoads, serial.NodeLoads) {
+		t.Errorf("cores=%d: node loads %v, want %v", cores, par.NodeLoads, serial.NodeLoads)
+	}
+	if par.Splits != serial.Splits || par.Replications != serial.Replications ||
+		par.FinalNodes != serial.FinalNodes {
+		t.Errorf("cores=%d: expansion %d/%d/%d, want %d/%d/%d",
+			cores, par.Splits, par.Replications, par.FinalNodes,
+			serial.Splits, serial.Replications, serial.FinalNodes)
+	}
+	if par.TotalSec != serial.TotalSec || par.BuildSec != serial.BuildSec {
+		t.Errorf("cores=%d: virtual time %v/%v, want %v/%v",
+			cores, par.BuildSec, par.TotalSec, serial.BuildSec, serial.TotalSec)
+	}
+	// The only permitted wire delta is the stats snapshot itself: each
+	// sharded node's report carries its per-shard histogram (8 bytes per
+	// shard). Message count must be identical.
+	wantWire := serial.WireBytes + int64(8*cores*len(par.NodeShardLoads))
+	if par.WireBytes != wantWire || par.Messages != serial.Messages {
+		t.Errorf("cores=%d: transport %d bytes / %d msgs, want %d / %d",
+			cores, par.WireBytes, par.Messages, wantWire, serial.Messages)
+	}
+	if par.Cores != cores {
+		t.Errorf("report Cores = %d, want %d", par.Cores, cores)
+	}
+	// Shard loads are raw table occupancy: they partition each node's
+	// table across shards, so their sum covers every stored build tuple
+	// plus any cloned-in copies (replication / probe expansion), which
+	// NodeLoads deliberately excludes.
+	var shardStored int64
+	for i, loads := range par.NodeShardLoads {
+		if len(loads) != cores {
+			t.Errorf("cores=%d: node %d reports %d shards", cores, i, len(loads))
+		}
+		for _, l := range loads {
+			shardStored += l
+		}
+	}
+	var stored int64
+	for _, l := range par.NodeLoads {
+		stored += l
+	}
+	if shardStored < stored {
+		t.Errorf("cores=%d: shard loads sum %d below node loads sum %d", cores, shardStored, stored)
+	}
+	if par.PoolMorsels == 0 || par.PoolSpanSec <= 0 {
+		t.Errorf("cores=%d: pool statistics empty (%d morsels, %v span) — parallel path not exercised",
+			cores, par.PoolMorsels, par.PoolSpanSec)
+	}
+}
+
+// TestDifferentialOracleMaterialized extends the oracle over the
+// probe-phase expansion path (table clones to probe recruits).
+func TestDifferentialOracleMaterialized(t *testing.T) {
+	for _, alg := range []Algorithm{Split, Replication, Hybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := oracleConfig(alg, datagen.Uniform, 55)
+			cfg.MaterializeOutput = true
+			cfg.MatchFraction = 1.0
+			serial, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			cfg.Cores = 4
+			par, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("cores=4: %v", err)
+			}
+			assertRunsEquivalent(t, 4, serial, par)
+		})
+	}
+}
+
+// TestModeledCoreSpeedup checks the cost model's default behaviour
+// (SerialParallelCharge off): a sharded node charges the critical path
+// across shards, so simulated build+probe time shrinks with cores while
+// the result stays exact.
+func TestModeledCoreSpeedup(t *testing.T) {
+	cfg := oracleConfig(Hybrid, datagen.Uniform, 77)
+	cfg.Cost.SerialParallelCharge = false
+	wantMatches, wantChecksum := referenceJoin(t, cfg)
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cores = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Matches != wantMatches || par.Checksum != wantChecksum {
+		t.Errorf("cores=4 result %d/%#x, want %d/%#x",
+			par.Matches, par.Checksum, wantMatches, wantChecksum)
+	}
+	if par.TotalSec >= serial.TotalSec {
+		t.Errorf("modeled cores=4 time %.3fs not below serial %.3fs",
+			par.TotalSec, serial.TotalSec)
+	}
+}

@@ -70,6 +70,10 @@ type schedActor struct {
 	restreamedChunks int64
 	restreamedTuples int64
 
+	// events logs every expansion-protocol step in arrival order, for
+	// reporting and for the differential oracle's sequence comparison.
+	events []ExpansionEvent
+
 	// Collected per-node statistics (populated by the collectStats round).
 	joinStats   map[rt.NodeID]*joinStats
 	sourceStats map[rt.NodeID]*sourceStats
@@ -124,6 +128,7 @@ func (sc *schedActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 	}
 	switch msg := m.(type) {
 	case *memFull:
+		sc.events = append(sc.events, ExpansionEvent{Kind: "memfull", Node: from, Peer: rt.NoNode, Bytes: msg.Bytes})
 		sc.onMemFull(env, from)
 	case *splitDone:
 		sc.splitMoved += msg.MovedTuples
@@ -251,6 +256,7 @@ func (sc *schedActor) probeExpand(env rt.Env, fullNode rt.NodeID) {
 	sc.table.Version++
 	rng := sc.table.Entries[idx].Range
 	sc.footprints[w] = rng
+	sc.events = append(sc.events, ExpansionEvent{Kind: "probe-expand", Node: fullNode, Peer: w, Range: rng})
 	env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
 	env.Send(w, &joinInit{Range: rng, Table: sc.table.Clone(), AwaitClone: true})
 	env.Send(fullNode, &cloneTable{To: w})
@@ -291,6 +297,7 @@ func (sc *schedActor) replicate(env rt.Env, fullNode rt.NodeID) {
 	sc.replications++
 	rng := sc.table.Entries[idx].Range
 	sc.footprints[w] = rng
+	sc.events = append(sc.events, ExpansionEvent{Kind: "replicate", Node: fullNode, Peer: w, Range: rng})
 	env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
 	env.Send(w, &joinInit{Range: rng, Table: sc.table.Clone()})
 	env.Send(fullNode, &retire{ForwardTo: w, Table: sc.table.Clone()})
@@ -329,6 +336,7 @@ func (sc *schedActor) issueSplits(env rt.Env) {
 		sc.working = append(sc.working, w)
 		sc.footprints[w] = upper
 		sc.splits++
+		sc.events = append(sc.events, ExpansionEvent{Kind: "split", Node: victim, Peer: w, Range: upper})
 		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
 		env.Send(w, &joinInit{Range: upper, Table: sc.table.Clone()})
 		env.Send(victim, &splitOrder{Lower: lower, Upper: upper, NewNode: w, Table: sc.table.Clone()})
@@ -410,6 +418,7 @@ func (sc *schedActor) onCounts(env rt.Env, from rt.NodeID, msg *countResp) {
 // tuple mass, updates the master table, and instructs the members.
 func (sc *schedActor) finishGroup(env rt.Env, g *groupState) {
 	offsets := partitionOffsets(g.counts, len(g.members))
+	sc.events = append(sc.events, ExpansionEvent{Kind: "reshuffle", Node: g.members[0], Peer: rt.NoNode, Range: g.rng})
 	env.ChargeCPU(int64(len(g.counts)) * 3) // greedy pass over the histogram
 	parts := len(offsets) - 1
 	entries := make([]hashfn.Entry, parts)
@@ -560,6 +569,7 @@ func (sc *schedActor) recoverEntry(env rt.Env, idx int) bool {
 		}
 	}
 
+	sc.events = append(sc.events, ExpansionEvent{Kind: "recover", Node: newOwner, Peer: rt.NoNode, Range: rng})
 	sc.table.Entries[idx] = hashfn.Entry{Range: rng, Owners: []int32{int32(newOwner)}}
 	sc.table.Version++
 	// Every copy of the range routed under an older table — in flight,

@@ -34,20 +34,47 @@ type Table struct {
 	count   int64
 	bytes   int64
 	// posCount tracks tuples per routing position, needed by the hybrid
-	// algorithm's reshuffling step and by the load-balance metrics.
-	posCount []int64
+	// algorithm's reshuffling step and by the load-balance metrics. A
+	// shard table (posStride > 1) owns only the positions ≡ posPhase
+	// (mod posStride) and stores them compacted at index pos/posStride —
+	// a full-width array per shard would multiply the insert path's cache
+	// footprint by the shard count.
+	posCount  []int64
+	posStride int
+	posPhase  int
 }
 
 // New returns an empty table for tuples of the given layout.
 func New(space hashfn.Space, layout tuple.Layout) *Table {
+	return NewShard(space, layout, 0, 1)
+}
+
+// NewShard returns an empty table owning the routing positions ≡ phase
+// (mod stride). Inserting a tuple whose position is outside that residue
+// class corrupts the per-position counts; callers route by position
+// first (see Sharded).
+func NewShard(space hashfn.Space, layout tuple.Layout, phase, stride int) *Table {
+	if stride < 1 {
+		stride = 1
+	}
+	owned := (space.Positions() - phase + stride - 1) / stride
 	t := &Table{
-		space:    space,
-		layout:   layout,
-		buckets:  make([][]tuple.Tuple, minBuckets),
-		posCount: make([]int64, space.Positions()),
+		space:     space,
+		layout:    layout,
+		buckets:   make([][]tuple.Tuple, minBuckets),
+		posCount:  make([]int64, owned),
+		posStride: stride,
+		posPhase:  phase,
 	}
 	t.shift = 64 - log2(minBuckets)
 	return t
+}
+
+func (t *Table) posIndex(pos int) int {
+	if t.posStride == 1 {
+		return pos
+	}
+	return pos / t.posStride
 }
 
 func log2(n int) uint {
@@ -72,7 +99,7 @@ func (t *Table) Insert(tp tuple.Tuple) {
 	t.buckets[b] = append(t.buckets[b], tp)
 	t.count++
 	t.bytes += int64(t.layout.LogicalSize())
-	t.posCount[t.space.PositionOf(tp.Key)]++
+	t.posCount[t.posIndex(t.space.PositionOf(tp.Key))]++
 }
 
 // InsertChunk adds every tuple of a chunk.
@@ -122,7 +149,15 @@ func (t *Table) Layout() tuple.Layout { return t.layout }
 // positions in r, as exchanged during the hybrid algorithm's reshuffle.
 func (t *Table) CountsInRange(r hashfn.Range) []int64 {
 	out := make([]int64, r.Width())
-	copy(out, t.posCount[r.Lo:r.Hi])
+	if t.posStride == 1 {
+		copy(out, t.posCount[r.Lo:r.Hi])
+		return out
+	}
+	// First owned position ≥ r.Lo, then every posStride-th.
+	pos := r.Lo + ((t.posPhase-r.Lo)%t.posStride+t.posStride)%t.posStride
+	for ; pos < r.Hi; pos += t.posStride {
+		out[pos-r.Lo] = t.posCount[pos/t.posStride]
+	}
 	return out
 }
 
@@ -145,7 +180,7 @@ func (t *Table) ExtractMatching(pred func(tuple.Tuple) bool) []tuple.Tuple {
 		for _, tp := range chain {
 			if pred(tp) {
 				moved = append(moved, tp)
-				t.posCount[t.space.PositionOf(tp.Key)]--
+				t.posCount[t.posIndex(t.space.PositionOf(tp.Key))]--
 			} else {
 				kept = append(kept, tp)
 			}

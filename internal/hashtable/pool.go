@@ -1,0 +1,103 @@
+package hashtable
+
+import "sync"
+
+// Pool is a fixed-size goroutine pool executing shard morsels. One pool
+// serves every sharded table in the process (a worker hosts several join
+// actors, but -cores bounds the *process's* parallelism, not each
+// actor's), so morsels from concurrently-delivered chunks queue behind
+// the same worker set instead of oversubscribing the machine.
+//
+// Run is a barrier: it returns only when every submitted task has
+// finished. Tasks must be independent — no task may wait on another —
+// which keeps the pool deadlock-free even when several actors share it.
+type Pool struct {
+	tasks chan poolTask
+	size  int
+}
+
+type poolTask struct {
+	fn *func()
+	wg *sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of worker goroutines.
+// Sizes below 2 return nil: a nil *Pool is valid and runs everything
+// inline on the caller.
+func NewPool(workers int) *Pool {
+	if workers < 2 {
+		return nil
+	}
+	p := &Pool{tasks: make(chan poolTask), size: workers}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range p.tasks {
+				(*t.fn)()
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of worker goroutines (0 for a nil pool).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return p.size
+}
+
+// Run executes every function and returns when all have finished. The
+// caller's goroutine runs the first task itself, so progress is
+// guaranteed even when all pool workers are busy serving other callers.
+func (p *Pool) Run(fns []func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if p == nil || len(fns) == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for i := range fns[1:] {
+		p.tasks <- poolTask{fn: &fns[1+i], wg: &wg}
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// Close stops the pool's workers. Only pools owned exclusively by the
+// caller (tests, benchmarks) should be closed; shared pools live for the
+// process.
+func (p *Pool) Close() {
+	if p != nil {
+		close(p.tasks)
+	}
+}
+
+var (
+	sharedMu    sync.Mutex
+	sharedPools = map[int]*Pool{}
+)
+
+// SharedPool returns the process-wide pool with the given worker count,
+// creating it on first use. Shared pools are never closed: the set of
+// distinct sizes in a process is tiny (one per -cores value seen), and
+// idle workers cost nothing but a blocked goroutine.
+func SharedPool(workers int) *Pool {
+	if workers < 2 {
+		return nil
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	p := sharedPools[workers]
+	if p == nil {
+		p = NewPool(workers)
+		sharedPools[workers] = p
+	}
+	return p
+}

@@ -196,7 +196,20 @@ func TestDrainTimeoutOption(t *testing.T) {
 // feeds the deaths to the scheduler, and the recovery protocol re-streams
 // the lost state — the run completes with the exact fault-free result.
 func TestWorkerDeathRecoversOverTCP(t *testing.T) {
+	workerDeathRecovers(t, 1)
+}
+
+// TestShardedWorkerDeathRecoversOverTCP repeats the worker-death run with
+// intra-node morsel parallelism on every join node: the footprint purge
+// must drop all shards of the lost ranges and the re-stream must rebuild
+// through the per-worker goroutine pool.
+func TestShardedWorkerDeathRecoversOverTCP(t *testing.T) {
+	workerDeathRecovers(t, 4)
+}
+
+func workerDeathRecovers(t *testing.T, cores int) {
 	cfg := distConfig(core.Split)
+	cfg.Cores = cores
 	want, err := core.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -253,5 +266,9 @@ func TestWorkerDeathRecoversOverTCP(t *testing.T) {
 	}
 	if got.RecoverySec <= 0 {
 		t.Errorf("RecoverySec = %v, want > 0", got.RecoverySec)
+	}
+	if cores > 1 && (got.Cores != cores || got.PoolMorsels == 0) {
+		t.Errorf("sharded run reported cores=%d, %d morsels — parallel path not exercised over TCP",
+			got.Cores, got.PoolMorsels)
 	}
 }
