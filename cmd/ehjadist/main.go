@@ -33,21 +33,25 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:0", "address to accept workers on")
-		workers  = flag.Int("workers", 2, "number of worker processes")
-		spawn    = flag.Bool("spawn", true, "spawn local worker copies of this binary")
-		worker   = flag.Bool("worker", false, "run as a worker (internal, used by -spawn)")
-		connect  = flag.String("connect", "", "coordinator address (worker mode)")
-		algName  = flag.String("alg", "hybrid", "join algorithm: split|replication|hybrid|ooc")
-		initial  = flag.Int("initial", 2, "initial number of join nodes")
-		maxNodes = flag.Int("max", 8, "total join nodes in the environment")
-		rTuples  = flag.Int64("r", 200_000, "build relation cardinality")
-		sTuples  = flag.Int64("s", 200_000, "probe relation cardinality")
-		budget   = flag.Int64("budget", 4<<20, "per-node hash memory budget in bytes")
-		kill     = flag.String("kill", "", "kill spawned worker W at T seconds wall time, format W@T (fault-injection demo; needs -spawn)")
-		recover_ = flag.Bool("recover", false, "survive worker deaths: re-stream lost state via the scheduler instead of aborting")
-		wireMode = flag.String("wire", "binary", "message encoding on the wire: binary|gob")
-		cores    = flag.Int("cores", 1, "intra-node morsel parallelism per join node (0 = each worker's GOMAXPROCS)")
+		listen       = flag.String("listen", "127.0.0.1:0", "address to accept workers on")
+		workers      = flag.Int("workers", 2, "number of worker processes")
+		spawn        = flag.Bool("spawn", true, "spawn local worker copies of this binary")
+		worker       = flag.Bool("worker", false, "run as a worker (internal, used by -spawn)")
+		connect      = flag.String("connect", "", "coordinator address (worker mode)")
+		algName      = flag.String("alg", "hybrid", "join algorithm: split|replication|hybrid|ooc")
+		initial      = flag.Int("initial", 2, "initial number of join nodes")
+		maxNodes     = flag.Int("max", 8, "total join nodes in the environment")
+		rTuples      = flag.Int64("r", 200_000, "build relation cardinality")
+		sTuples      = flag.Int64("s", 200_000, "probe relation cardinality")
+		budget       = flag.Int64("budget", 4<<20, "per-node hash memory budget in bytes")
+		kill         = flag.String("kill", "", "kill spawned worker W at T seconds wall time, format W@T (fault-injection demo; needs -spawn)")
+		recover_     = flag.Bool("recover", false, "survive worker deaths: re-stream lost state via the scheduler instead of aborting")
+		wireMode     = flag.String("wire", "binary", "message encoding on the wire: binary|gob")
+		cores        = flag.Int("cores", 1, "intra-node morsel parallelism per join node (0 = each worker's GOMAXPROCS)")
+		chaos        = flag.String("chaos", "", "deterministic network fault injection on worker connections: a PRNG seed, or a schedule like corrupt@4096;tear@9000;dup@3;drop@20000;stallr@8000:50")
+		resume       = flag.Bool("resume", true, "recover broken worker connections by ack-based session resume (retransmit only unacked frames) before falling back to re-streaming")
+		resumeWindow = flag.Duration("resume-window", tcpnet.DefaultResumeWindow,
+			"how long a disconnected worker may take to redial before the next recovery rung")
 	)
 	flag.Parse()
 
@@ -62,7 +66,7 @@ func main() {
 	}
 
 	if *worker {
-		runWorker(*connect)
+		runWorker(*connect, *chaos, *resume)
 		return
 	}
 
@@ -99,6 +103,10 @@ func main() {
 		MatchFraction: 1.0,
 	}
 
+	if _, err := tcpnet.ParseChaos(*chaos); err != nil {
+		fatal(err) // reject a bad schedule before spawning anything
+	}
+
 	killWorker, killAfter := -1, time.Duration(0)
 	if *kill != "" {
 		w, after, err := parseKill(*kill)
@@ -128,7 +136,12 @@ func main() {
 			fatal(err)
 		}
 		for i := 0; i < *workers; i++ {
-			cmd := exec.Command(self, "-worker", "-connect", l.Addr().String(), "-wire", *wireMode)
+			args := []string{"-worker", "-connect", l.Addr().String(), "-wire", *wireMode,
+				"-resume=" + strconv.FormatBool(*resume)}
+			if *chaos != "" {
+				args = append(args, "-chaos", *chaos)
+			}
+			cmd := exec.Command(self, args...)
 			cmd.Stderr = os.Stderr
 			if err := cmd.Start(); err != nil {
 				fatal(err)
@@ -162,6 +175,11 @@ func main() {
 
 	var coord *tcpnet.Coordinator
 	var opts []tcpnet.Option
+	if *resume {
+		// The coordinator takes over the listener: disconnected workers
+		// redial it and resume their session in place.
+		opts = append(opts, tcpnet.WithResume(l, *resumeWindow))
+	}
 	if *recover_ {
 		schedID, err := core.SchedulerNodeID(cfg)
 		if err != nil {
@@ -216,6 +234,12 @@ func main() {
 			fmt.Println("ehjadist: DEGRADED — result may be incomplete")
 		}
 	}
+	if report.RecoveryRung > 0 || report.Resumes > 0 ||
+		report.ChecksumFailures > 0 || report.DuplicateFrames > 0 {
+		fmt.Printf("ehjadist: recovery rung %d: %d session resume(s), %d/%d frames retransmitted, %d checksum failure(s), %d duplicate(s) shed\n",
+			report.RecoveryRung, report.Resumes, report.RetransmittedFrames,
+			report.SessionFrames, report.ChecksumFailures, report.DuplicateFrames)
+	}
 }
 
 // parseKill parses a "W@T" fault spec: worker index and wall-clock seconds.
@@ -235,8 +259,22 @@ func parseKill(s string) (worker int, after time.Duration, err error) {
 	return worker, time.Duration(sec * float64(time.Second)), nil
 }
 
-func runWorker(connect string) {
-	conn, err := net.Dial("tcp", connect)
+func runWorker(connect, chaos string, resume bool) {
+	plan, err := tcpnet.ParseChaos(chaos)
+	if err != nil {
+		fatal(err)
+	}
+	// All connections — initial and redialed — go through the same chaos
+	// plan, so a scheduled fault fires exactly once per worker process no
+	// matter how many reconnects it takes to get past it.
+	dial := func() (net.Conn, error) {
+		c, err := net.Dial("tcp", connect)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Wrap(c), nil
+	}
+	conn, err := dial()
 	if err != nil {
 		fatal(err)
 	}
@@ -248,7 +286,11 @@ func runWorker(connect string) {
 		}
 		return core.NewJoinActor(cfg, id)
 	}
-	if err := tcpnet.RunWorker(conn, factory); err != nil {
+	var opts []tcpnet.WorkerOption
+	if resume {
+		opts = append(opts, tcpnet.WithWorkerResume(dial, 0, 0))
+	}
+	if err := tcpnet.RunWorker(conn, factory, opts...); err != nil {
 		fatal(err)
 	}
 }

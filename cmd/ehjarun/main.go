@@ -197,6 +197,11 @@ func main() {
 			fmt.Println("recovery: DEGRADED — some losses were unrecoverable; result may be incomplete")
 		}
 	}
+	if r.RecoveryRung > 0 {
+		fmt.Printf("recovery: rung %d engaged (1 = session resume, 2 = purge + re-stream, 3 = degraded); "+
+			"%d resume(s), %d/%d frames retransmitted\n",
+			r.RecoveryRung, r.Resumes, r.RetransmittedFrames, r.SessionFrames)
+	}
 	if r.Cores > 1 {
 		fmt.Printf("cores: %d per node; pool %d morsels, busy %.2fs over %.2fs span "+
 			"(utilization %.0f%%), critical path %.2fs\n",

@@ -24,6 +24,8 @@ func main() {
 	connect := flag.String("connect", "127.0.0.1:7420", "coordinator address")
 	wireMode := flag.String("wire", "binary", "message encoding on the wire: binary|gob")
 	cores := flag.Int("cores", 0, "override intra-node morsel parallelism on this worker (0 = inherit coordinator config, -1 = this host's GOMAXPROCS)")
+	chaos := flag.String("chaos", "", "deterministic network fault injection on this connection: a PRNG seed, or a schedule like corrupt@4096;tear@9000;dup@3")
+	resume := flag.Bool("resume", true, "redial the coordinator and resume the session when the connection breaks")
 	flag.Parse()
 
 	switch *wireMode {
@@ -36,7 +38,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	conn, err := net.Dial("tcp", *connect)
+	plan, err := tcpnet.ParseChaos(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joind:", err)
+		os.Exit(2)
+	}
+	dial := func() (net.Conn, error) {
+		c, err := net.Dial("tcp", *connect)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Wrap(c), nil
+	}
+	conn, err := dial()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "joind:", err)
 		os.Exit(1)
@@ -57,7 +71,11 @@ func main() {
 		}
 		return core.NewJoinActor(cfg, id)
 	}
-	if err := tcpnet.RunWorker(conn, factory); err != nil {
+	var opts []tcpnet.WorkerOption
+	if *resume {
+		opts = append(opts, tcpnet.WithWorkerResume(dial, 0, 0))
+	}
+	if err := tcpnet.RunWorker(conn, factory, opts...); err != nil {
 		fmt.Fprintln(os.Stderr, "joind:", err)
 		os.Exit(1)
 	}

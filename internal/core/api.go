@@ -237,5 +237,25 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		r.WireBytes = st.Stats().BytesOnWire
 		r.Messages = st.Stats().Messages
 	}
+	if ts, ok := eng.(interface{ TransportStats() rt.TransportStats }); ok {
+		s := ts.TransportStats()
+		r.Resumes = s.Resumes
+		r.RetransmittedFrames = s.RetransmittedFrames
+		r.ChecksumFailures = s.ChecksumFailures
+		r.DuplicateFrames = s.DuplicateFrames
+		r.SessionFrames = s.FramesSent
+	}
+	// RecoveryRung records the most expensive recovery path the run took:
+	// the session layer's ack-based resume is rung 1, the scheduler's
+	// purge + re-stream is rung 2, and degradation (a loss the probe
+	// phase could only work around) is rung 3.
+	switch {
+	case r.Degraded:
+		r.RecoveryRung = 3
+	case r.NodesLost > 0 || r.RestreamedChunks > 0:
+		r.RecoveryRung = 2
+	case r.Resumes > 0:
+		r.RecoveryRung = 1
+	}
 	return r, nil
 }

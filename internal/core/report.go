@@ -99,6 +99,19 @@ type Report struct {
 	// result may be incomplete and conservation checks are skipped.
 	Degraded bool
 
+	// Session-layer transport activity (TCP engine only; zero elsewhere).
+	// Resumes counts ack-based session resumes: connections that broke and
+	// continued with only unacked frames retransmitted, no state lost.
+	Resumes             int64
+	RetransmittedFrames int64 // frames replayed on resume, both directions
+	ChecksumFailures    int64 // frames rejected by CRC32C verification
+	DuplicateFrames     int64 // frames dropped by sequence-number dedup
+	SessionFrames       int64 // unique reliable frames carried, both directions
+	// RecoveryRung is the most expensive recovery rung the run engaged:
+	// 0 none, 1 ack-based resume, 2 purge + re-stream, 3 degraded
+	// (replica loss the probe phase worked around).
+	RecoveryRung int
+
 	// Intra-node parallelism (Config.Cores > 1; zero-valued otherwise).
 	Cores int
 	// NodeShardLoads holds each participating sharded node's per-shard
@@ -152,6 +165,11 @@ func (r *Report) String() string {
 		if r.Degraded {
 			s += " DEGRADED"
 		}
+	}
+	if r.RecoveryRung > 0 || r.Resumes > 0 || r.ChecksumFailures > 0 || r.DuplicateFrames > 0 {
+		s += fmt.Sprintf(" rung %d resumes %d retransmitted %d/%d frames crc-fail %d dups %d",
+			r.RecoveryRung, r.Resumes, r.RetransmittedFrames, r.SessionFrames,
+			r.ChecksumFailures, r.DuplicateFrames)
 	}
 	return s
 }

@@ -50,6 +50,33 @@ type Actor interface {
 	Receive(env Env, from NodeID, m Message)
 }
 
+// TransportStats reports session-layer transport activity. Engines that
+// run over an unreliable byte transport (internal/tcpnet) expose a
+// `TransportStats() TransportStats` method; the report layer picks it up
+// by type assertion, the way it already does for simulator stats.
+type TransportStats struct {
+	// Resumes counts ack-based session resumes — recovery-ladder rung 1,
+	// where a broken connection is re-established and only unacked
+	// frames are retransmitted.
+	Resumes int64
+	// FullReassigns counts rung-2 recoveries: sessions torn down and
+	// reassigned from scratch because resume was impossible.
+	FullReassigns int64
+	// RetransmittedFrames counts frames replayed on resume, both
+	// directions summed.
+	RetransmittedFrames int64
+	// ChecksumFailures counts frames rejected by CRC verification.
+	ChecksumFailures int64
+	// DuplicateFrames counts frames dropped by sequence-number dedup.
+	DuplicateFrames int64
+	// DroppedMessages counts messages discarded because their worker was
+	// dead or unrecoverable.
+	DroppedMessages int64
+	// FramesSent counts unique reliable frames sequenced, both
+	// directions summed (retransmissions excluded).
+	FramesSent int64
+}
+
 // Engine runs a set of actors to quiescence.
 type Engine interface {
 	// Register adds an actor under the given id. Must be called before

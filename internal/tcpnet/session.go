@@ -1,0 +1,251 @@
+package tcpnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Session layer: per-worker reliable delivery on top of TCP connections
+// that are allowed to fail.
+//
+// Each coordinator⇄worker pair shares one session, identified by a random
+// session id and an epoch. Reliable frames (frameMsg, frameReport — the
+// frames whose loss or duplication would corrupt the join or its
+// quiescence accounting) carry consecutive sequence numbers starting at 1
+// and are kept, fully encoded, in a bounded retransmit buffer until the
+// peer's cumulative ack covers them. Every frame in either direction
+// piggybacks the sender's cumulative ack; an idle-ack timer covers the
+// case where no traffic flows to carry it. On reconnect the two sides
+// exchange (session, epoch, lastSeqSeen) and replay exactly the unacked
+// suffix — cheap rung 1 of the recovery ladder. If the retransmit window
+// overflowed, or the epochs disagree, the session is reset under a new
+// epoch and the worker is reassigned from scratch (rung 2: PR 1's purge +
+// deterministic re-stream). A worker that never reconnects inside the
+// resume window is declared dead (rung 3: scheduler recovery, degrading
+// to replica-loss accounting in the probe phase).
+
+const (
+	// DefaultRetransmitFrames and DefaultRetransmitBytes bound the
+	// per-direction retransmit buffer of unacked frames. Overflow is not
+	// an error — the session just stops being resumable and the next
+	// disconnect falls back to a full reassignment.
+	DefaultRetransmitFrames = 8192
+	DefaultRetransmitBytes  = 32 << 20
+)
+
+// reliableKind reports whether frames of this kind carry a session
+// sequence number, are buffered for retransmission until acked, and are
+// deduplicated by the receiver. Control frames (ping, ack, handshake,
+// shutdown) are idempotent or connection-scoped and stay unsequenced.
+func reliableKind(k frameKind) bool { return k == frameMsg || k == frameReport }
+
+// sentFrame is one retransmit-buffer entry: a reliable frame's complete
+// wire encoding (length prefix included), replayable verbatim.
+type sentFrame struct {
+	seq  uint64
+	data []byte
+}
+
+// session is one side's view of a coordinator⇄worker session. It is the
+// only transport state shared between the drain/read loops and the writer
+// goroutine, hence the mutex; every method is safe for concurrent use.
+type session struct {
+	mu sync.Mutex
+
+	id    uint64
+	epoch uint32
+
+	// Send side.
+	nextSeq    uint64 // sequence number for the next reliable frame (first is 1)
+	buf        []sentFrame
+	bufBytes   int
+	maxFrames  int
+	maxBytes   int
+	overflowed bool   // an unacked frame was evicted; resume is off the table this epoch
+	acked      uint64 // highest cumulative ack received from the peer
+
+	// Receive side.
+	lastSeqSeen uint64 // highest consecutive sequence accepted
+	lastAckSent uint64 // lastSeqSeen as of the last frame we sent
+
+	// Stats (cumulative across resumes and epochs).
+	duplicates int64 // received frames dropped by sequence dedup
+
+	scratch []byte // encode buffer for unsequenced frames
+}
+
+func newSession(id uint64, maxFrames, maxBytes int) *session {
+	if maxFrames <= 0 {
+		maxFrames = DefaultRetransmitFrames
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultRetransmitBytes
+	}
+	return &session{id: id, nextSeq: 1, maxFrames: maxFrames, maxBytes: maxBytes}
+}
+
+// encode appends f's complete wire encoding and returns the bytes to put
+// on the wire. A reliable frame is assigned the next sequence number and a
+// stable copy is stored in the retransmit buffer (the returned slice IS
+// that copy); an unsequenced frame reuses the session scratch buffer,
+// valid only until the next encode call. Every frame carries the current
+// cumulative ack.
+func (s *session) encode(f *frame) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var seq uint64
+	if reliableKind(f.Kind) {
+		seq = s.nextSeq
+	}
+	b, err := appendFrame(s.scratch[:0], f, seq, s.lastSeqSeen)
+	s.scratch = b[:0]
+	if err != nil {
+		return nil, err
+	}
+	s.lastAckSent = s.lastSeqSeen
+	if seq == 0 {
+		return b, nil
+	}
+	s.nextSeq++
+	data := append([]byte(nil), b...)
+	s.buf = append(s.buf, sentFrame{seq: seq, data: data})
+	s.bufBytes += len(data)
+	for (len(s.buf) > s.maxFrames || s.bufBytes > s.maxBytes) && len(s.buf) > 0 {
+		// Evicting an unacked frame makes this epoch non-resumable: the
+		// next disconnect must fall back to a full reassignment.
+		s.overflowed = true
+		s.bufBytes -= len(s.buf[0].data)
+		s.buf = s.buf[1:]
+	}
+	return data, nil
+}
+
+// peerAck processes a cumulative ack from the peer, trimming the
+// retransmit buffer.
+func (s *session) peerAck(ack uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ack <= s.acked {
+		return
+	}
+	s.acked = ack
+	i := 0
+	for i < len(s.buf) && s.buf[i].seq <= ack {
+		s.bufBytes -= len(s.buf[i].data)
+		i++
+	}
+	if i > 0 {
+		s.buf = append(s.buf[:0], s.buf[i:]...)
+	}
+}
+
+// acceptSeq decides the fate of a received reliable frame: process it
+// (the next expected sequence), silently drop it (a duplicate from a
+// retransmission overlap), or fail the connection (a gap — something was
+// lost undetected, which the protocol must never paper over).
+func (s *session) acceptSeq(seq uint64) (process bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case seq == s.lastSeqSeen+1:
+		s.lastSeqSeen = seq
+		return true, nil
+	case seq <= s.lastSeqSeen:
+		s.duplicates++
+		return false, nil
+	default:
+		return false, fmt.Errorf("tcpnet: sequence gap: frame %d after %d", seq, s.lastSeqSeen)
+	}
+}
+
+// unackedSince snapshots the wire bytes of every buffered frame above the
+// peer's reported lastSeqSeen, in sequence order, for replay on resume.
+func (s *session) unackedSince(seq uint64) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][]byte
+	for _, sf := range s.buf {
+		if sf.seq > seq {
+			out = append(out, sf.data)
+		}
+	}
+	return out
+}
+
+// needAck reports whether the peer has sent us reliable frames that no
+// outgoing frame has acknowledged yet — the trigger for an idle bare ack.
+func (s *session) needAck() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeqSeen > s.lastAckSent
+}
+
+// resumable reports whether this epoch can still be resumed from the
+// retransmit buffer.
+func (s *session) resumable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.overflowed
+}
+
+func (s *session) epochNow() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// seen returns the cumulative receive position, exchanged in the resume
+// handshake.
+func (s *session) seen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeqSeen
+}
+
+// framesSent counts the unique reliable frames sequenced so far this
+// epoch (retransmissions excluded).
+func (s *session) framesSent() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.nextSeq - 1)
+}
+
+func (s *session) dupes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.duplicates
+}
+
+// bumpEpoch invalidates every outstanding resume attempt against the old
+// epoch and returns the new one.
+func (s *session) bumpEpoch() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	return s.epoch
+}
+
+// reset clears all sequence and buffer state for a fresh start under the
+// current epoch (a rung-2 reassignment). Stats persist: they describe the
+// session's whole life, not one epoch.
+func (s *session) reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSeq = 1
+	s.buf = nil
+	s.bufBytes = 0
+	s.overflowed = false
+	s.acked = 0
+	s.lastSeqSeen = 0
+	s.lastAckSent = 0
+}
+
+// adopt installs the identity a frameAssign dictates (worker side) and
+// resets sequence state to match the coordinator's fresh epoch.
+func (s *session) adopt(id uint64, epoch uint32) {
+	s.mu.Lock()
+	s.id = id
+	s.epoch = epoch
+	s.mu.Unlock()
+	s.reset()
+}

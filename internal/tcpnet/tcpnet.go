@@ -25,12 +25,23 @@
 // always returns to servicing its inbox, so the worker's writes always
 // eventually complete.
 //
-// Worker failures (closed connections, hung processes caught by the
-// heartbeat) never panic the coordinator. A failed worker is either
-// reconnected asynchronously (WithReconnect — backoff sleeps happen off
-// the drain loop, so healthy workers keep draining), reported to a failure
-// handler (WithFailureHandler) so the join layer can run its recovery
-// protocol, or surfaced as a descriptive error from Drain.
+// Worker failures (closed or corrupted connections, hung processes caught
+// by the heartbeat) never panic the coordinator. Recovery is a three-rung
+// ladder, cheapest first (see session.go):
+//
+//  1. Ack-based resume (WithResume): the worker redials, the two sides
+//     exchange (session, epoch, lastSeqSeen), and only unacked frames are
+//     retransmitted. Actor state survived; nothing is recomputed.
+//  2. Full reassignment: when the retransmit window overflowed or the
+//     session epoch changed, the worker is reassigned from scratch under a
+//     new epoch and the failure handler fires so the join layer purges the
+//     lost footprint and re-streams it deterministically (also the
+//     WithReconnect path, where the coordinator dials a fresh process).
+//  3. Death: no reconnection inside the resume window. The worker is
+//     tombstoned and the failure handler (WithFailureHandler) lets the
+//     scheduler recover — exactly in the build phase, degrading to
+//     replica-loss accounting in the probe phase — or, without a handler,
+//     Drain surfaces a descriptive error.
 package tcpnet
 
 import (
@@ -42,6 +53,7 @@ import (
 	"time"
 
 	rt "ehjoin/internal/runtime"
+	wire "ehjoin/internal/wire"
 )
 
 type frameKind uint8
@@ -53,15 +65,28 @@ const (
 	frameShutdown
 	framePing
 	framePong
+	frameResume   // worker → coordinator: redial handshake hello
+	frameResumeOK // coordinator → worker: resume accepted
+	frameAck      // bare cumulative ack, sent when idle traffic can't carry one
 )
 
 // frame is the wire unit in both directions.
 type frame struct {
 	Kind frameKind
 
-	// frameAssign
+	// Session envelope, filled by the codec on every frame.
+	Seq uint64 // per-session sequence (0 = unsequenced control frame)
+	Ack uint64 // sender's cumulative receive position
+
+	// frameAssign / frameResume
 	CfgBlob []byte
 	IDs     []int32
+	Session uint64
+	Epoch   uint32
+
+	// frameResume / frameResumeOK
+	LastSeq   uint64
+	CanReplay bool
 
 	// frameMsg
 	From, To int32
@@ -70,6 +95,13 @@ type frame struct {
 	// frameReport (cumulative counters)
 	Processed int64
 	Emitted   int64
+	// Worker-side session stats, piggybacked so the coordinator can fold
+	// them into the run report without another protocol.
+	WFrames   int64 // unique reliable frames the worker sequenced
+	WResumes  int64 // resumes the worker performed
+	WRetrans  int64 // frames the worker retransmitted on resume
+	WChecksum int64 // checksum failures the worker observed
+	WDups     int64 // duplicate frames the worker dropped
 }
 
 // DrainTimeout is the default bound on a single Drain call; override with
@@ -83,6 +115,19 @@ const (
 	DefaultHeartbeatInterval = 2 * time.Second
 	DefaultHeartbeatTimeout  = 10 * time.Second
 )
+
+// DefaultResumeWindow bounds how long a disconnected worker may take to
+// redial before the coordinator gives up on resume and falls through to
+// the next recovery rung.
+const DefaultResumeWindow = 5 * time.Second
+
+// sessionTickInterval paces the coordinator's session maintenance: idle
+// acks for quiet receive directions and resume-deadline checks.
+const sessionTickInterval = 200 * time.Millisecond
+
+// resumeHandshakeTimeout bounds each side's wait for the other's half of
+// the resume handshake.
+const resumeHandshakeTimeout = 5 * time.Second
 
 // Default channel capacities: the merged inbox of decoded worker frames,
 // and the per-connection writer outbox.
@@ -119,6 +164,7 @@ type taggedFrame struct {
 	f      *frame
 	err    error
 	redial *redialResult
+	resume *resumeRequest
 }
 
 // redialResult is the outcome of an asynchronous reconnect attempt,
@@ -129,18 +175,36 @@ type redialResult struct {
 	cause error // the original failure that triggered the reconnect
 }
 
+// resumeRequest is a worker's redial handshake, parked in the inbox until
+// the drain loop decides between resume and reassignment.
+type resumeRequest struct {
+	conn      net.Conn
+	r         *wireReader // already holds any bytes read past the hello
+	session   uint64
+	epoch     uint32
+	lastSeq   uint64
+	canReplay bool
+}
+
 // workerConn is the coordinator's view of one worker.
 type workerConn struct {
 	conn      net.Conn
 	out       chan *frame   // writer-goroutine outbox; non-nil only while live
 	wdone     chan struct{} // closed when the writer goroutine has exited
-	delivered int64         // messages the coordinator enqueued for this worker
-	processed int64         // last reported processed count
-	received  int64         // messages the coordinator read from this worker
-	emitted   int64         // last reported emitted count
+	sess      *session
+	delivered int64 // messages the coordinator enqueued for this worker
+	processed int64 // last reported processed count
+	received  int64 // messages the coordinator read from this worker
+	emitted   int64 // last reported emitted count
 	lastHeard time.Time
 	gen       int // bumped when a connection is retired; older frames are stale
 	state     workerState
+
+	resumeDeadline time.Time // while reconnecting: give up on resume after this
+	failCause      error     // what broke the last connection
+
+	// Latest worker-reported session stats.
+	repWFrames, repWResumes, repWRetrans, repWChecksum, repWDups int64
 }
 
 type localDelivery struct {
@@ -165,6 +229,7 @@ type reconnectPolicy struct {
 // Coordinator implements runtime.Engine over TCP workers.
 type Coordinator struct {
 	workers    []*workerConn
+	bySession  map[uint64]int
 	inbox      chan taggedFrame
 	inboxCap   int
 	outboxCap  int
@@ -178,14 +243,22 @@ type Coordinator struct {
 	cfgBlob   []byte
 	perWorker [][]int32
 
-	drainTimeout time.Duration
-	hbInterval   time.Duration
-	hbTimeout    time.Duration
-	reconnect    *reconnectPolicy
-	onFailure    FailureHandler
+	drainTimeout  time.Duration
+	hbInterval    time.Duration
+	hbTimeout     time.Duration
+	reconnect     *reconnectPolicy
+	onFailure     FailureHandler
+	resumeL       net.Listener
+	resumeWindow  time.Duration
+	retransFrames int
+	retransBytes  int
 
-	fatal   error // first unrecoverable failure; surfaced by Drain
-	dropped int64 // messages discarded because their worker is dead
+	fatal         error // first unrecoverable failure; surfaced by Drain
+	dropped       int64 // messages discarded because their worker is dead
+	resumes       int64 // rung-1 recoveries performed
+	fullReassigns int64 // rung-2 recoveries performed
+	retransmitted int64 // frames the coordinator replayed on resume
+	checksumFails int64 // corrupted frames the coordinator's read loops rejected
 }
 
 // Option configures a Coordinator.
@@ -232,6 +305,31 @@ func WithFailureHandler(h FailureHandler) Option {
 	return func(c *Coordinator) { c.onFailure = h }
 }
 
+// WithResume accepts worker-initiated session resumes on l: a worker whose
+// connection breaks redials l, and its session continues with only the
+// unacked frames retransmitted — the cheapest recovery rung, with actor
+// state intact. window bounds how long the coordinator waits for the
+// redial (0 = DefaultResumeWindow) before falling through to WithReconnect
+// (if configured) or declaring the worker dead. The coordinator owns l and
+// closes it on Close, which is also how clean shutdown is disambiguated on
+// the worker side: a redial refused after EOF means the run is over.
+func WithResume(l net.Listener, window time.Duration) Option {
+	return func(c *Coordinator) {
+		c.resumeL = l
+		if window > 0 {
+			c.resumeWindow = window
+		}
+	}
+}
+
+// WithRetransmitWindow bounds each worker session's retransmit buffer
+// (defaults DefaultRetransmitFrames / DefaultRetransmitBytes). A session
+// whose window overflows stays functional but loses resumability for the
+// epoch: its next disconnect takes the full-reassignment rung.
+func WithRetransmitWindow(frames, bytes int) Option {
+	return func(c *Coordinator) { c.retransFrames, c.retransBytes = frames, bytes }
+}
+
 // NewCoordinator wires up accepted worker connections. assignment maps
 // node ids to indexes in conns; every unassigned registered node runs
 // locally. cfgBlob is shipped verbatim to each worker (typically
@@ -240,6 +338,7 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 	c := &Coordinator{
 		assignment:   assignment,
 		local:        make(map[rt.NodeID]rt.Actor),
+		bySession:    make(map[uint64]int),
 		inboxCap:     defaultInboxFrames,
 		outboxCap:    defaultOutboxFrames,
 		start:        time.Now(),
@@ -247,6 +346,7 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 		drainTimeout: DrainTimeout,
 		hbInterval:   DefaultHeartbeatInterval,
 		hbTimeout:    DefaultHeartbeatTimeout,
+		resumeWindow: DefaultResumeWindow,
 	}
 	for _, o := range opts {
 		o(c)
@@ -265,58 +365,83 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 	for _, ids := range c.perWorker {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
+	// Session ids only need to be unique within a run and unlikely to
+	// collide with a stale worker from a previous run redialing the same
+	// port; a timestamp base with the worker index in the low bits does.
+	base := uint64(time.Now().UnixNano()) &^ 0xFFFF
 	now := time.Now()
 	for i, conn := range conns {
-		w := &workerConn{conn: conn, lastHeard: now}
-		c.startWriter(w, conn)
+		w := &workerConn{conn: conn, lastHeard: now,
+			sess: newSession(base|uint64(i), c.retransFrames, c.retransBytes)}
+		c.bySession[w.sess.id] = i
+		c.startWriter(w, conn, nil, nil)
 		af := getFrame()
-		af.Kind, af.CfgBlob, af.IDs = frameAssign, cfgBlob, c.perWorker[i]
+		af.Kind, af.Session, af.CfgBlob, af.IDs = frameAssign, w.sess.id, cfgBlob, c.perWorker[i]
 		w.out <- af
 		c.workers = append(c.workers, w)
-		go c.readLoop(i, 0, conn)
+		go c.readLoop(i, 0, newWireReader(conn))
+	}
+	if c.resumeL != nil {
+		go c.acceptLoop(c.resumeL)
 	}
 	return c, nil
 }
 
 // startWriter attaches a fresh outbox and writer goroutine to w's current
-// connection.
-func (c *Coordinator) startWriter(w *workerConn, conn net.Conn) {
+// connection. first (optional) is written before anything else — the
+// resume-accept or reassign frame that must precede all traffic on the new
+// connection — followed by retrans, the pre-encoded unacked frames being
+// replayed.
+func (c *Coordinator) startWriter(w *workerConn, conn net.Conn, first *frame, retrans [][]byte) {
 	w.out = make(chan *frame, c.outboxCap)
 	w.wdone = make(chan struct{})
-	go writeLoop(conn, w.out, w.wdone)
+	go writeLoop(conn, newSessionWriter(conn, w.sess), w.out, w.wdone, first, retrans)
 }
 
 // writeLoop owns one connection's buffered writer: it batches queued
 // frames and flushes exactly when the outbox runs dry — immediately before
 // it would block — so everything the coordinator is waiting on is on the
 // wire. On a write error it closes the connection (the failure surfaces
-// through the read loop) and keeps draining the outbox so senders are
-// never blocked behind a wedged socket. It exits when the outbox is
-// closed.
-func writeLoop(conn net.Conn, out <-chan *frame, done chan<- struct{}) {
+// through the read loop) and keeps draining the outbox; the session writer
+// keeps sequencing reliable frames into the retransmit buffer while it
+// does, so nothing is lost and senders are never blocked behind a wedged
+// socket. It exits when the outbox is closed.
+func writeLoop(conn net.Conn, w *wireWriter, out <-chan *frame, done chan<- struct{}, first *frame, retrans [][]byte) {
 	defer close(done)
-	w := newWireWriter(conn)
-	var err error
+	if first != nil {
+		_ = w.WriteFrame(first)
+		putFrame(first)
+	}
+	for _, b := range retrans {
+		_ = w.WriteRaw(b)
+	}
+	// The handshake reply and replay must hit the wire before the loop
+	// parks on an empty outbox: the worker is blocked waiting for them.
+	if w.Err() == nil {
+		_ = w.Flush()
+	}
+	if w.Err() != nil {
+		_ = conn.Close()
+	}
 	for f := range out {
-		if err == nil {
-			err = w.WriteFrame(f)
-		}
+		_ = w.WriteFrame(f)
 		putFrame(f)
-		if err == nil && len(out) == 0 {
-			err = w.Flush()
+		if w.Err() == nil && len(out) == 0 {
+			_ = w.Flush()
 		}
-		if err != nil {
+		if w.Err() != nil {
 			_ = conn.Close()
 		}
 	}
-	if err == nil {
+	if w.Err() == nil {
 		_ = w.Flush()
 	}
 }
 
 // readLoop decodes one worker connection's frames into the merged inbox.
-func (c *Coordinator) readLoop(i, gen int, conn net.Conn) {
-	r := newWireReader(conn)
+// The reader is passed in (not built from the conn) so a resumed
+// connection keeps the bytes its handshake already buffered.
+func (c *Coordinator) readLoop(i, gen int, r *wireReader) {
 	for {
 		f, err := r.ReadFrame()
 		if err != nil {
@@ -324,6 +449,47 @@ func (c *Coordinator) readLoop(i, gen int, conn net.Conn) {
 			return
 		}
 		c.inbox <- taggedFrame{worker: i, gen: gen, f: f}
+	}
+}
+
+// acceptLoop turns redialed connections into resume requests for the
+// drain loop. It exits when the listener closes (Coordinator.Close).
+func (c *Coordinator) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go c.resumeHandshake(conn)
+	}
+}
+
+// resumeHandshake reads the redialing worker's hello and parks it in the
+// inbox. Anything malformed, late, or unroutable just drops the
+// connection — the worker retries or gives up on its own schedule.
+func (c *Coordinator) resumeHandshake(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(resumeHandshakeTimeout))
+	r := newWireReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if f.Kind != frameResume {
+		putFrame(f)
+		_ = conn.Close()
+		return
+	}
+	req := &resumeRequest{conn: conn, r: r,
+		session: f.Session, epoch: f.Epoch, lastSeq: f.LastSeq, canReplay: f.CanReplay}
+	putFrame(f)
+	select {
+	case c.inbox <- taggedFrame{resume: req}:
+	default:
+		// Inbox jammed; dropping the attempt is safe — the worker's
+		// handshake read times out and it redials.
+		_ = conn.Close()
 	}
 }
 
@@ -348,6 +514,24 @@ func (c *Coordinator) route(from, to rt.NodeID, m rt.Message) {
 	if w, remote := c.assignment[to]; remote {
 		wc := c.workers[w]
 		if wc.state != stateLive {
+			if wc.state == stateReconnecting && c.resumeL != nil && wc.sess.resumable() {
+				// The worker is expected back with its state intact:
+				// sequence the message straight into the retransmit
+				// buffer, to be replayed on resume. No outbox exists
+				// while disconnected.
+				f := getFrame()
+				f.Kind, f.From, f.To, f.Msg = frameMsg, int32(from), int32(to), m
+				_, err := wc.sess.encode(f)
+				putFrame(f)
+				if err != nil {
+					if c.fatal == nil {
+						c.fatal = err
+					}
+					return
+				}
+				wc.delivered++
+				return
+			}
 			// Expected during the window between a death and the join
 			// layer rerouting around it; mirrors the simulator dropping
 			// messages to crashed nodes.
@@ -408,22 +592,35 @@ func (c *Coordinator) stallTimeout() time.Duration {
 	return c.drainTimeout
 }
 
-// failWorker handles a broken worker connection: retire the connection,
-// then reconnect asynchronously if configured, otherwise tombstone the
-// worker and hand the death to the failure handler (or record it as fatal
-// for Drain to surface).
+// failWorker handles a broken worker connection: retire the connection
+// (waiting for the writer goroutine so every queued reliable frame lands
+// in the retransmit buffer, in order), then take the cheapest configured
+// recovery path — wait for a worker-initiated resume, reconnect
+// asynchronously, or tombstone the worker and hand the death to the
+// failure handler (or record it as fatal for Drain to surface).
 func (c *Coordinator) failWorker(i int, cause error) {
 	w := c.workers[i]
 	if w.state != stateLive || c.closed {
 		return
 	}
-	close(w.out) // writer goroutine drains, flushes what it can, exits
-	w.out = nil
 	_ = w.conn.Close()
+	close(w.out) // writer drains the outbox into the session buffer, exits
+	<-w.wdone
+	w.out = nil
 	w.gen++ // frames still in flight from the old connection are stale
+	w.failCause = cause
+	if c.resumeL != nil {
+		// Rung 1 pending: the worker holds its state and redials us.
+		// Whether the session actually resumes — or falls through to a
+		// full reassignment — is decided when its hello arrives.
+		w.state = stateReconnecting
+		w.resumeDeadline = time.Now().Add(c.resumeWindow)
+		return
+	}
 	if c.reconnect != nil {
 		w.state = stateReconnecting
-		go c.redial(i, cause)
+		epoch := w.sess.bumpEpoch()
+		go c.redial(i, cause, epoch)
 		return
 	}
 	w.state = stateDead
@@ -435,7 +632,7 @@ func (c *Coordinator) failWorker(i int, cause error) {
 // the drain loop, so heartbeats and message relay for healthy workers
 // continue while this worker reconnects. The outcome is delivered to the
 // drain loop through the inbox.
-func (c *Coordinator) redial(i int, cause error) {
+func (c *Coordinator) redial(i int, cause error, epoch uint32) {
 	for attempt := 0; attempt < c.reconnect.attempts; attempt++ {
 		if attempt > 0 && c.reconnect.backoff > 0 {
 			time.Sleep(c.reconnect.backoff)
@@ -445,7 +642,9 @@ func (c *Coordinator) redial(i int, cause error) {
 			continue
 		}
 		w := newWireWriter(conn)
-		if err := w.WriteFrame(&frame{Kind: frameAssign, CfgBlob: c.cfgBlob, IDs: c.perWorker[i]}); err != nil {
+		af := &frame{Kind: frameAssign, Session: c.workers[i].sess.id, Epoch: epoch,
+			CfgBlob: c.cfgBlob, IDs: c.perWorker[i]}
+		if err := w.WriteFrame(af); err != nil {
 			_ = conn.Close()
 			continue
 		}
@@ -475,14 +674,93 @@ func (c *Coordinator) applyRedial(i int, r *redialResult) {
 	}
 	// Transport restored, but the replacement process rebuilt its actors
 	// from scratch: the old state must still be recovered.
+	w.sess.reset()
 	w.conn = r.conn
 	w.gen++
 	w.delivered, w.processed, w.received, w.emitted = 0, 0, 0, 0
 	w.lastHeard = time.Now()
 	w.state = stateLive
-	c.startWriter(w, r.conn)
-	go c.readLoop(i, w.gen, r.conn)
+	c.fullReassigns++
+	c.startWriter(w, r.conn, nil, nil)
+	go c.readLoop(i, w.gen, newWireReader(r.conn))
 	c.notifyDeath(i, r.cause)
+}
+
+// applyResume decides a redialing worker's fate: resume the session from
+// the retransmit buffers (rung 1), or reassign it from scratch under a new
+// epoch (rung 2).
+func (c *Coordinator) applyResume(req *resumeRequest) {
+	i, ok := c.bySession[req.session]
+	if !ok || c.closed {
+		_ = req.conn.Close()
+		return
+	}
+	w := c.workers[i]
+	if w.state == stateDead {
+		// Too late: the scheduler already recovered around this worker.
+		_ = req.conn.Close()
+		return
+	}
+	if w.state == stateLive {
+		// The worker noticed the failure before we did; retire the old
+		// connection first, exactly as failWorker would.
+		_ = w.conn.Close()
+		close(w.out)
+		<-w.wdone
+		w.out = nil
+		w.gen++
+		if w.failCause == nil {
+			w.failCause = errors.New("worker redialed over a live connection")
+		}
+	}
+	sess := w.sess
+	if req.epoch == sess.epochNow() && req.canReplay && sess.resumable() {
+		// Rung 1: both retransmit buffers survived intact. Trim ours to
+		// the worker's receive position and replay only the rest; tell
+		// the worker our position so it does the same. Counters are NOT
+		// reset — with exactly-once delivery restored, the quiescence
+		// predicate carries straight across the disconnect.
+		sess.peerAck(req.lastSeq)
+		retrans := sess.unackedSince(req.lastSeq)
+		okf := getFrame()
+		okf.Kind, okf.LastSeq = frameResumeOK, sess.seen()
+		w.conn = req.conn
+		w.gen++
+		w.state = stateLive
+		w.lastHeard = time.Now()
+		w.resumeDeadline = time.Time{}
+		w.failCause = nil
+		c.startWriter(w, req.conn, okf, retrans)
+		go c.readLoop(i, w.gen, req.r)
+		c.resumes++
+		c.retransmitted += int64(len(retrans))
+		return
+	}
+	// Rung 2: the window overflowed (or the epochs disagree). Reassign the
+	// worker from scratch under a fresh epoch and let the failure handler
+	// run the join layer's purge + re-stream recovery.
+	cause := w.failCause
+	if cause == nil {
+		cause = errors.New("connection lost")
+	}
+	cause = fmt.Errorf("session %#x not resumable (epoch %d/%d, replayable %v/%v): %w",
+		req.session, req.epoch, sess.epochNow(), req.canReplay, sess.resumable(), cause)
+	epoch := sess.bumpEpoch()
+	sess.reset()
+	af := getFrame()
+	af.Kind, af.Session, af.Epoch, af.CfgBlob, af.IDs =
+		frameAssign, sess.id, epoch, c.cfgBlob, c.perWorker[i]
+	w.conn = req.conn
+	w.gen++
+	w.delivered, w.processed, w.received, w.emitted = 0, 0, 0, 0
+	w.lastHeard = time.Now()
+	w.state = stateLive
+	w.resumeDeadline = time.Time{}
+	w.failCause = nil
+	c.fullReassigns++
+	c.startWriter(w, req.conn, af, nil)
+	go c.readLoop(i, w.gen, req.r)
+	c.notifyDeath(i, cause)
 }
 
 func (c *Coordinator) notifyDeath(i int, cause error) {
@@ -504,8 +782,8 @@ func (c *Coordinator) notifyDeath(i int, cause error) {
 
 // quiescent reports whether no work remains anywhere. Dead workers are
 // excluded: their outstanding counters can never settle. A reconnecting
-// worker blocks quiescence — its redial outcome, and the failure
-// notification that follows it, are still in flight.
+// worker blocks quiescence — its resume, redial outcome, or the failure
+// notification that follows, are still in flight.
 func (c *Coordinator) quiescent() bool {
 	if len(c.queue) > 0 || len(c.pending) > 0 {
 		return false
@@ -534,13 +812,21 @@ func (c *Coordinator) Drain() error {
 		t := time.NewTicker(c.hbInterval)
 		defer t.Stop()
 		heartbeat = t.C
-		// A worker is only expected to be responsive while we drain, so
-		// silence accumulated between Drain calls does not count. Dead and
-		// reconnecting workers are not expected to speak at all.
-		now := time.Now()
-		for _, w := range c.workers {
-			if w.state == stateLive {
-				w.lastHeard = now
+	}
+	sessTick := time.NewTicker(sessionTickInterval)
+	defer sessTick.Stop()
+	// A worker is only expected to be responsive while we drain, so
+	// silence accumulated between Drain calls does not count; the same
+	// holds for a resume deadline set at the tail of the previous drain.
+	// Dead workers are not expected to speak at all.
+	now := time.Now()
+	for _, w := range c.workers {
+		switch w.state {
+		case stateLive:
+			w.lastHeard = now
+		case stateReconnecting:
+			if !w.resumeDeadline.IsZero() {
+				w.resumeDeadline = now.Add(c.resumeWindow)
 			}
 		}
 	}
@@ -575,6 +861,8 @@ func (c *Coordinator) Drain() error {
 			c.apply(tf)
 		case <-heartbeat:
 			c.pingWorkers()
+		case <-sessTick.C:
+			c.sessionTick()
 		case <-deadline:
 			return c.timeoutError()
 		}
@@ -602,6 +890,44 @@ func (c *Coordinator) pingWorkers() {
 		case w.out <- f:
 		default:
 			putFrame(f)
+		}
+	}
+}
+
+// sessionTick is the coordinator's session maintenance: flush a bare ack
+// for any receive direction that has gone quiet (so worker retransmit
+// buffers keep trimming during one-sided traffic), and expire resume
+// deadlines, falling through to the next recovery rung.
+func (c *Coordinator) sessionTick() {
+	now := time.Now()
+	for i, w := range c.workers {
+		switch w.state {
+		case stateLive:
+			if w.sess.needAck() {
+				f := getFrame()
+				f.Kind = frameAck
+				select {
+				case w.out <- f:
+				default:
+					putFrame(f) // traffic in flight will carry the ack
+				}
+			}
+		case stateReconnecting:
+			if !w.resumeDeadline.IsZero() && now.After(w.resumeDeadline) {
+				w.resumeDeadline = time.Time{}
+				cause := w.failCause
+				if cause == nil {
+					cause = errors.New("connection lost")
+				}
+				cause = fmt.Errorf("no resume within %v: %w", c.resumeWindow, cause)
+				if c.reconnect != nil {
+					epoch := w.sess.bumpEpoch()
+					go c.redial(i, cause, epoch)
+					continue
+				}
+				w.state = stateDead
+				c.notifyDeath(i, cause)
+			}
 		}
 	}
 }
@@ -644,6 +970,10 @@ func (c *Coordinator) apply(tf taggedFrame) {
 		c.applyRedial(tf.worker, tf.redial)
 		return
 	}
+	if tf.resume != nil {
+		c.applyResume(tf.resume)
+		return
+	}
 	w := c.workers[tf.worker]
 	if w.state != stateLive || tf.gen != w.gen {
 		// Stale frame from a tombstoned or replaced connection.
@@ -656,21 +986,43 @@ func (c *Coordinator) apply(tf taggedFrame) {
 		if c.closed {
 			return
 		}
+		if errors.Is(tf.err, wire.ErrChecksum) {
+			c.checksumFails++
+		}
 		c.failWorker(tf.worker, tf.err)
 		return
 	}
 	w.lastHeard = time.Now()
-	switch tf.f.Kind {
+	f := tf.f
+	w.sess.peerAck(f.Ack)
+	if f.Seq > 0 {
+		ok, err := w.sess.acceptSeq(f.Seq)
+		if err != nil {
+			putFrame(f)
+			c.failWorker(tf.worker, err)
+			return
+		}
+		if !ok {
+			putFrame(f) // duplicate from a retransmission overlap
+			return
+		}
+	}
+	switch f.Kind {
 	case frameMsg:
 		w.received++
-		c.route(rt.NodeID(tf.f.From), rt.NodeID(tf.f.To), tf.f.Msg)
+		c.route(rt.NodeID(f.From), rt.NodeID(f.To), f.Msg)
 	case frameReport:
-		w.processed = tf.f.Processed
-		w.emitted = tf.f.Emitted
-	case framePong:
-		// lastHeard update above is the whole point.
+		w.processed = f.Processed
+		w.emitted = f.Emitted
+		w.repWFrames = f.WFrames
+		w.repWResumes = f.WResumes
+		w.repWRetrans = f.WRetrans
+		w.repWChecksum = f.WChecksum
+		w.repWDups = f.WDups
+	case framePong, frameAck:
+		// lastHeard and peerAck updates above are the whole point.
 	}
-	putFrame(tf.f)
+	putFrame(f)
 }
 
 // NowSeconds implements runtime.Engine with wall-clock time.
@@ -680,13 +1032,38 @@ func (c *Coordinator) NowSeconds() float64 { return time.Since(c.start).Seconds(
 // destination worker was dead or reconnecting.
 func (c *Coordinator) DroppedMessages() int64 { return c.dropped }
 
+// TransportStats implements the optional engine stats hook the report
+// layer consumes (see core.Execute): a fold of the coordinator's own
+// session counters with the latest worker-reported ones.
+func (c *Coordinator) TransportStats() rt.TransportStats {
+	ts := rt.TransportStats{
+		Resumes:             c.resumes,
+		FullReassigns:       c.fullReassigns,
+		RetransmittedFrames: c.retransmitted,
+		ChecksumFailures:    c.checksumFails,
+		DroppedMessages:     c.dropped,
+	}
+	for _, w := range c.workers {
+		ts.FramesSent += w.sess.framesSent() + w.repWFrames
+		ts.DuplicateFrames += w.sess.dupes() + w.repWDups
+		ts.RetransmittedFrames += w.repWRetrans
+		ts.ChecksumFailures += w.repWChecksum
+	}
+	return ts
+}
+
 // Close shuts every live worker down, waits for each writer goroutine to
-// flush, and closes the connections.
+// flush, and closes the connections. Closing the resume listener first is
+// what lets workers distinguish shutdown from failure: a redial refused
+// after EOF means the run is over.
 func (c *Coordinator) Close() {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	if c.resumeL != nil {
+		_ = c.resumeL.Close()
+	}
 	for _, w := range c.workers {
 		if w.state != stateLive {
 			continue

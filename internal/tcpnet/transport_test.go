@@ -9,6 +9,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
+	"io"
 	"net"
 	"reflect"
 	"sync"
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/wire"
 )
 
 // testMsg is the synthetic payload; it rides the gob fallback codec.
@@ -90,12 +93,16 @@ func runTestWorker(conn net.Conn, actors map[rt.NodeID]rt.Actor) <-chan error {
 
 func TestFrameRoundTrip(t *testing.T) {
 	frames := []*frame{
-		{Kind: frameAssign, CfgBlob: []byte("config bytes"), IDs: []int32{3, 1, 9}},
+		{Kind: frameAssign, Session: 0xABCD0001, Epoch: 3, CfgBlob: []byte("config bytes"), IDs: []int32{3, 1, 9}},
 		{Kind: frameAssign, IDs: []int32{}},
 		{Kind: frameMsg, From: -1, To: 7, Msg: &testMsg{Seq: 42, Pad: []byte{1, 2, 3}}},
-		{Kind: frameReport, Processed: 123456789, Emitted: 987654321},
+		{Kind: frameReport, Processed: 123456789, Emitted: 987654321,
+			WFrames: 11, WResumes: 2, WRetrans: 5, WChecksum: 1, WDups: 3},
 		{Kind: framePing},
 		{Kind: framePong},
+		{Kind: frameResume, Session: 0xABCD0001, Epoch: 2, LastSeq: 77, CanReplay: true},
+		{Kind: frameResumeOK, LastSeq: 1234},
+		{Kind: frameAck},
 		{Kind: frameShutdown},
 	}
 	var bb bytes.Buffer
@@ -116,7 +123,12 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 		if got.Kind != want.Kind || !bytes.Equal(got.CfgBlob, want.CfgBlob) ||
 			got.From != want.From || got.To != want.To ||
-			got.Processed != want.Processed || got.Emitted != want.Emitted {
+			got.Processed != want.Processed || got.Emitted != want.Emitted ||
+			got.Session != want.Session || got.Epoch != want.Epoch ||
+			got.LastSeq != want.LastSeq || got.CanReplay != want.CanReplay ||
+			got.WFrames != want.WFrames || got.WResumes != want.WResumes ||
+			got.WRetrans != want.WRetrans || got.WChecksum != want.WChecksum ||
+			got.WDups != want.WDups {
 			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
 		}
 		if len(want.IDs) > 0 && !reflect.DeepEqual(got.IDs, want.IDs) {
@@ -126,6 +138,47 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatalf("frame %d Msg: got %#v, want %#v", i, got.Msg, want.Msg)
 		}
 		putFrame(got)
+	}
+}
+
+// TestFrameSequencing pins that a session writer sequences reliable frames
+// (msg, report) and leaves control frames unsequenced, and that acks ride
+// every outgoing frame.
+func TestFrameSequencing(t *testing.T) {
+	var bb bytes.Buffer
+	s := newSession(42, 0, 0)
+	w := newSessionWriter(&bb, s)
+	s.lastSeqSeen = 9 // pretend we received frames 1..9 from the peer
+	for _, f := range []*frame{
+		{Kind: frameMsg, To: 1, Msg: &testMsg{Seq: 1}},
+		{Kind: framePing},
+		{Kind: frameReport, Processed: 1},
+		{Kind: frameMsg, To: 1, Msg: &testMsg{Seq: 2}},
+	} {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := newWireReader(&bb)
+	wantSeqs := []uint64{1, 0, 2, 3}
+	for i, wantSeq := range wantSeqs {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Seq != wantSeq {
+			t.Errorf("frame %d: seq %d, want %d", i, f.Seq, wantSeq)
+		}
+		if f.Ack != 9 {
+			t.Errorf("frame %d: ack %d, want 9", i, f.Ack)
+		}
+		putFrame(f)
+	}
+	if got := len(s.buf); got != 3 {
+		t.Errorf("retransmit buffer holds %d frames, want 3 (control frames must not be buffered)", got)
 	}
 }
 
@@ -139,19 +192,72 @@ func TestFrameDecodeErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := bb.Bytes()
-	for cut := frameHeaderLen; cut < len(full); cut++ {
+	for cut := 1; cut < len(full); cut++ {
 		r := newWireReader(bytes.NewReader(full[:cut]))
-		if _, err := r.ReadFrame(); err == nil {
+		_, err := r.ReadFrame()
+		if err == nil {
 			t.Fatalf("frame truncated to %d of %d bytes decoded without error", cut, len(full))
 		}
+		if !errors.Is(err, wire.ErrTruncated) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrTruncated", cut, err)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("truncation to %d bytes must not look like a clean close: %v", cut, err)
+		}
 	}
-	r := newWireReader(bytes.NewReader([]byte{0, 0, 0, 0}))
-	if _, err := r.ReadFrame(); err == nil {
-		t.Error("zero-length frame decoded without error")
+	// A clean close at a frame boundary is bare io.EOF — the one
+	// stream-end the worker may treat as shutdown.
+	r := newWireReader(bytes.NewReader(full))
+	if f, err := r.ReadFrame(); err != nil {
+		t.Fatal(err)
+	} else {
+		putFrame(f)
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("clean close: got %v, want bare io.EOF", err)
+	}
+
+	r = newWireReader(bytes.NewReader([]byte{0, 0, 0, 0}))
+	if _, err := r.ReadFrame(); !errors.Is(err, wire.ErrBadLength) {
+		t.Errorf("zero-length frame: got %v, want ErrBadLength", err)
 	}
 	r = newWireReader(bytes.NewReader([]byte{1, 0, 0, 0, 99}))
-	if _, err := r.ReadFrame(); err == nil {
-		t.Error("unknown frame kind decoded without error")
+	if _, err := r.ReadFrame(); !errors.Is(err, wire.ErrBadLength) {
+		t.Errorf("sub-minimum frame length: got %v, want ErrBadLength", err)
+	}
+}
+
+// TestFrameCorruptionDetected flips every byte of an encoded frame in turn;
+// the reader must reject each mutation with a typed error (checksum, bad
+// length, or truncation) and must never panic or silently accept it.
+func TestFrameCorruptionDetected(t *testing.T) {
+	var bb bytes.Buffer
+	w := newWireWriter(&bb)
+	if err := w.WriteFrame(&frame{Kind: frameMsg, From: 2, To: 7,
+		Msg: &testMsg{Seq: 5, Pad: []byte("payload bytes here")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := bb.Bytes()
+	for i := range full {
+		for _, flip := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), full...)
+			mut[i] ^= flip
+			r := newWireReader(bytes.NewReader(mut))
+			f, err := r.ReadFrame()
+			if err == nil {
+				// Only acceptable if a length-prefix mutation made the
+				// frame shorter but internally consistent — impossible
+				// with a CRC over the whole body.
+				t.Fatalf("byte %d ^ %#x: corrupted frame decoded without error (%+v)", i, flip, f)
+			}
+			if !errors.Is(err, wire.ErrChecksum) && !errors.Is(err, wire.ErrBadLength) &&
+				!errors.Is(err, wire.ErrTruncated) {
+				t.Fatalf("byte %d ^ %#x: untyped decode error %v", i, flip, err)
+			}
+		}
 	}
 }
 
@@ -258,10 +364,10 @@ func (c *recordingConn) countFrames(t *testing.T, kind frameKind) int {
 		}
 		n := int(binary.LittleEndian.Uint32(data))
 		data = data[frameHeaderLen:]
-		if n < 1 || n > len(data) {
+		if n < minBodyLen || n > len(data) {
 			t.Fatalf("captured stream has bad frame length %d (%d bytes left)", n, len(data))
 		}
-		if frameKind(data[0]) == kind {
+		if frameKind(data[envelopeLen]) == kind {
 			count++
 		}
 		data = data[n:]

@@ -4,20 +4,27 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 
 	wire "ehjoin/internal/wire"
 )
 
-// Wire format. Every frame is length-prefixed:
+// Wire format. Every frame is length-prefixed and carries a session
+// envelope:
 //
 //	[4-byte little-endian body length][body]
+//	body = [crc32c(4)][seq(8)][ack(8)][kind(1)][kind-specific fields]
 //
-// The body starts with the frame kind byte, followed by kind-specific
-// fields (fixed-width little-endian). frameMsg payloads are encoded by
-// internal/wire: hand-written binary codecs for the hot chunk-bearing
-// messages, gob for the rare control messages.
+// The CRC32C (Castagnoli) covers everything after itself — seq, ack,
+// kind, fields — so a flipped bit anywhere in a frame is detected before
+// the frame is acted on, and surfaces as wire.ErrChecksum instead of a
+// clean close. seq is the per-session sequence number for reliable frames
+// (0 for control frames); ack is the sender's cumulative receive position,
+// piggybacked on every frame in both directions (see session.go). frameMsg
+// payloads are encoded by internal/wire: hand-written binary codecs for
+// the hot chunk-bearing messages, gob for the rare control messages.
 //
 // Both directions are buffered. The flush discipline is what keeps the
 // coordinator's quiescence predicate sound on a buffered transport: a
@@ -36,7 +43,15 @@ const (
 	readBufBytes  = 256 << 10
 
 	frameHeaderLen = 4
+	// envelopeLen is the session envelope inside the body: crc + seq + ack.
+	envelopeLen = 4 + 8 + 8
+	// minBodyLen is the envelope plus the kind byte.
+	minBodyLen = envelopeLen + 1
 )
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64
+// and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // framePool recycles frame structs between the read loops, the drain
 // loop, and the writer goroutines.
@@ -51,54 +66,144 @@ func putFrame(f *frame) {
 	framePool.Put(f)
 }
 
+// appendFrame appends one complete frame — length prefix, CRC32C,
+// sequence number, cumulative ack, kind byte, fields — to dst.
+func appendFrame(dst []byte, f *frame, seq, ack uint64) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length, patched below
+	dst = append(dst, 0, 0, 0, 0) // crc, patched below
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint64(dst, ack)
+	dst = append(dst, byte(f.Kind))
+	var err error
+	switch f.Kind {
+	case frameAssign:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Session)
+		dst = binary.LittleEndian.AppendUint32(dst, f.Epoch)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.CfgBlob)))
+		dst = append(dst, f.CfgBlob...)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.IDs)))
+		for _, id := range f.IDs {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+		}
+	case frameMsg:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.To))
+		if dst, err = wire.AppendMessage(dst, f.Msg); err != nil {
+			return nil, err
+		}
+	case frameReport:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Processed))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Emitted))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WFrames))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WResumes))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WRetrans))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WChecksum))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WDups))
+	case frameResume:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Session)
+		dst = binary.LittleEndian.AppendUint32(dst, f.Epoch)
+		dst = binary.LittleEndian.AppendUint64(dst, f.LastSeq)
+		var replay byte
+		if f.CanReplay {
+			replay = 1
+		}
+		dst = append(dst, replay)
+	case frameResumeOK:
+		dst = binary.LittleEndian.AppendUint64(dst, f.LastSeq)
+	case framePing, framePong, frameShutdown, frameAck:
+		// envelope and kind byte only
+	default:
+		return nil, fmt.Errorf("tcpnet: encode unknown frame kind %d", f.Kind)
+	}
+	body := dst[start+frameHeaderLen:]
+	if len(body) > maxFrameBytes {
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(body))
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(body, crc32.Checksum(body[4:], crcTable))
+	return dst, nil
+}
+
 // wireWriter encodes frames onto a buffered connection. Not safe for
 // concurrent use: each connection direction has exactly one owner.
+//
+// A writer with a session attached keeps accepting reliable frames after
+// the connection has failed: WriteFrame still sequences and buffers them
+// in the session (they will be replayed on resume) and returns nil, with
+// the transport error held in Err for the owner to act on at its next
+// blocking point. A sessionless writer (handshakes, redials) returns
+// transport errors directly.
 type wireWriter struct {
 	bw      *bufio.Writer
-	scratch []byte // reused encode buffer, grown to the largest frame seen
+	sess    *session
+	scratch []byte // reused encode buffer for the sessionless path
+	err     error  // first transport error, sticky
 }
 
 func newWireWriter(w io.Writer) *wireWriter {
 	return &wireWriter{bw: bufio.NewWriterSize(w, writeBufBytes)}
 }
 
-// WriteFrame buffers one encoded frame. Call Flush before blocking.
+func newSessionWriter(w io.Writer, s *session) *wireWriter {
+	return &wireWriter{bw: bufio.NewWriterSize(w, writeBufBytes), sess: s}
+}
+
+// WriteFrame encodes and buffers one frame. Encoding failures (unknown
+// kind, codec errors) are always returned; transport failures follow the
+// session/sessionless contract above.
 func (w *wireWriter) WriteFrame(f *frame) error {
-	b := append(w.scratch[:0], 0, 0, 0, 0, byte(f.Kind))
+	var data []byte
 	var err error
-	switch f.Kind {
-	case frameAssign:
-		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.CfgBlob)))
-		b = append(b, f.CfgBlob...)
-		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.IDs)))
-		for _, id := range f.IDs {
-			b = binary.LittleEndian.AppendUint32(b, uint32(id))
-		}
-	case frameMsg:
-		b = binary.LittleEndian.AppendUint32(b, uint32(f.From))
-		b = binary.LittleEndian.AppendUint32(b, uint32(f.To))
-		if b, err = wire.AppendMessage(b, f.Msg); err != nil {
-			return err
-		}
-	case frameReport:
-		b = binary.LittleEndian.AppendUint64(b, uint64(f.Processed))
-		b = binary.LittleEndian.AppendUint64(b, uint64(f.Emitted))
-	case framePing, framePong, frameShutdown:
-		// kind byte only
-	default:
-		return fmt.Errorf("tcpnet: encode unknown frame kind %d", f.Kind)
+	if w.sess != nil {
+		data, err = w.sess.encode(f)
+	} else {
+		w.scratch, err = appendFrame(w.scratch[:0], f, 0, 0)
+		data = w.scratch
 	}
-	if len(b)-frameHeaderLen-1 > maxFrameBytes {
-		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(b))
+	if err != nil {
+		return err
 	}
-	binary.LittleEndian.PutUint32(b, uint32(len(b)-frameHeaderLen))
-	w.scratch = b
-	_, err = w.bw.Write(b)
-	return err
+	if w.err != nil {
+		if w.sess != nil {
+			return nil
+		}
+		return w.err
+	}
+	if _, werr := w.bw.Write(data); werr != nil {
+		w.err = werr
+		if w.sess != nil {
+			return nil
+		}
+		return werr
+	}
+	return nil
+}
+
+// WriteRaw buffers pre-encoded frame bytes — the retransmission path.
+func (w *wireWriter) WriteRaw(data []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.bw.Write(data); err != nil {
+		w.err = err
+	}
+	return w.err
 }
 
 // Flush pushes everything buffered onto the connection.
-func (w *wireWriter) Flush() error { return w.bw.Flush() }
+func (w *wireWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Err returns the first transport error this writer hit, if any.
+func (w *wireWriter) Err() error { return w.err }
 
 // wireReader decodes frames from a buffered connection.
 type wireReader struct {
@@ -117,37 +222,53 @@ func (r *wireReader) Buffered() int { return r.br.Buffered() }
 
 // ReadFrame blocks for the next frame. The frame comes from framePool;
 // hand it back with putFrame once its fields have been consumed.
+//
+// A clean peer close at a frame boundary returns bare io.EOF. Anything
+// else — a stream ending mid-frame, an illegal length prefix, a failed
+// CRC — returns an error matching one of the wire package's typed decode
+// errors, so callers can tell corruption from shutdown.
 func (r *wireReader) ReadFrame() (*frame, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
-		return nil, err
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("tcpnet: stream ended mid-header (%v): %w", err, wire.ErrTruncated)
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n < 1 || n > maxFrameBytes {
-		return nil, fmt.Errorf("tcpnet: bad frame length %d", n)
+	if n < minBodyLen || n > maxFrameBytes {
+		return nil, fmt.Errorf("tcpnet: frame length %d outside [%d, %d]: %w",
+			n, minBodyLen, maxFrameBytes, wire.ErrBadLength)
 	}
 	if cap(r.buf) < n {
 		r.buf = make([]byte, n)
 	}
 	body := r.buf[:n]
 	if _, err := io.ReadFull(r.br, body); err != nil {
-		return nil, fmt.Errorf("tcpnet: frame body truncated: %w", err)
+		return nil, fmt.Errorf("tcpnet: frame body truncated (%v): %w", err, wire.ErrTruncated)
+	}
+	if want, got := binary.LittleEndian.Uint32(body), crc32.Checksum(body[4:], crcTable); got != want {
+		return nil, fmt.Errorf("tcpnet: frame crc %#x, header says %#x: %w", got, want, wire.ErrChecksum)
 	}
 	f := getFrame()
-	f.Kind = frameKind(body[0])
-	body = body[1:]
+	f.Seq = binary.LittleEndian.Uint64(body[4:])
+	f.Ack = binary.LittleEndian.Uint64(body[12:])
+	f.Kind = frameKind(body[20])
+	body = body[minBodyLen:]
 	bad := func() (*frame, error) {
 		kind := f.Kind
 		putFrame(f)
-		return nil, fmt.Errorf("tcpnet: truncated frame kind %d", kind)
+		return nil, fmt.Errorf("tcpnet: short body for frame kind %d: %w", kind, wire.ErrTruncated)
 	}
 	switch f.Kind {
 	case frameAssign:
-		if len(body) < 4 {
+		if len(body) < 16 {
 			return bad()
 		}
-		bl := int(binary.LittleEndian.Uint32(body))
-		body = body[4:]
+		f.Session = binary.LittleEndian.Uint64(body)
+		f.Epoch = binary.LittleEndian.Uint32(body[8:])
+		bl := int(binary.LittleEndian.Uint32(body[12:]))
+		body = body[16:]
 		if bl < 0 || len(body) < bl+4 {
 			return bad()
 		}
@@ -177,13 +298,31 @@ func (r *wireReader) ReadFrame() (*frame, error) {
 		}
 		f.Msg = m
 	case frameReport:
-		if len(body) < 16 {
+		if len(body) < 56 {
 			return bad()
 		}
 		f.Processed = int64(binary.LittleEndian.Uint64(body))
 		f.Emitted = int64(binary.LittleEndian.Uint64(body[8:]))
-	case framePing, framePong, frameShutdown:
-		// kind byte only
+		f.WFrames = int64(binary.LittleEndian.Uint64(body[16:]))
+		f.WResumes = int64(binary.LittleEndian.Uint64(body[24:]))
+		f.WRetrans = int64(binary.LittleEndian.Uint64(body[32:]))
+		f.WChecksum = int64(binary.LittleEndian.Uint64(body[40:]))
+		f.WDups = int64(binary.LittleEndian.Uint64(body[48:]))
+	case frameResume:
+		if len(body) < 21 {
+			return bad()
+		}
+		f.Session = binary.LittleEndian.Uint64(body)
+		f.Epoch = binary.LittleEndian.Uint32(body[8:])
+		f.LastSeq = binary.LittleEndian.Uint64(body[12:])
+		f.CanReplay = body[20] != 0
+	case frameResumeOK:
+		if len(body) < 8 {
+			return bad()
+		}
+		f.LastSeq = binary.LittleEndian.Uint64(body)
+	case framePing, framePong, frameShutdown, frameAck:
+		// envelope and kind byte only
 	default:
 		kind := f.Kind
 		putFrame(f)

@@ -1,18 +1,64 @@
 package tcpnet
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"time"
 
 	rt "ehjoin/internal/runtime"
+	wire "ehjoin/internal/wire"
 )
 
 // ActorFactory constructs a worker-hosted actor for one of the node ids the
 // coordinator assigned. cfgBlob is the coordinator's opaque configuration
 // (typically decoded with core.DecodeConfig).
 type ActorFactory func(cfgBlob []byte, id rt.NodeID) (rt.Actor, error)
+
+// Default redial policy for WithWorkerResume.
+const (
+	DefaultWorkerRedialAttempts = 10
+	DefaultWorkerRedialBackoff  = 200 * time.Millisecond
+)
+
+// workerOpts collects RunWorker's optional behaviour.
+type workerOpts struct {
+	dial      func() (net.Conn, error)
+	attempts  int
+	backoff   time.Duration
+	maxFrames int
+	maxBytes  int
+}
+
+// WorkerOption configures RunWorker.
+type WorkerOption func(*workerOpts)
+
+// WithWorkerResume makes the worker survive connection loss: on any read
+// or write failure it keeps its actor state, redials the coordinator's
+// resume listener with dial (up to attempts tries, backoff apart; zero
+// values take the defaults), and resumes the session with only unacked
+// frames retransmitted. If the coordinator instead answers with a fresh
+// assignment, the worker rebuilds from scratch — the full-reassignment
+// recovery rung. A clean EOF whose redial is refused is still a normal
+// shutdown.
+func WithWorkerResume(dial func() (net.Conn, error), attempts int, backoff time.Duration) WorkerOption {
+	return func(o *workerOpts) {
+		o.dial = dial
+		if attempts > 0 {
+			o.attempts = attempts
+		}
+		if backoff > 0 {
+			o.backoff = backoff
+		}
+	}
+}
+
+// WithWorkerRetransmitWindow bounds the worker-side retransmit buffer
+// (defaults DefaultRetransmitFrames / DefaultRetransmitBytes).
+func WithWorkerRetransmitWindow(frames, bytes int) WorkerOption {
+	return func(o *workerOpts) { o.maxFrames, o.maxBytes = frames, bytes }
+}
 
 // RunWorker serves one worker process over an established connection: it
 // receives the assignment, constructs its actors, and processes messages
@@ -25,78 +71,108 @@ type ActorFactory func(cfgBlob []byte, id rt.NodeID) (rt.Actor, error)
 // actually moved), not one per message. Because the report is written
 // after the batch's emitted messages on the same FIFO connection, the
 // coordinator's quiescence predicate stays sound.
-func RunWorker(conn net.Conn, factory ActorFactory) error {
-	r := newWireReader(conn)
-	ww := newWireWriter(conn)
-
-	assign, err := r.ReadFrame()
-	if err != nil {
-		return fmt.Errorf("tcpnet: worker read assignment: %w", err)
+//
+// Transport failures are handled at the same blocking points. With
+// WithWorkerResume the worker redials and resumes; without it, a bare EOF
+// is a clean shutdown and anything else is returned as an error.
+func RunWorker(conn net.Conn, factory ActorFactory, opts ...WorkerOption) error {
+	o := workerOpts{attempts: DefaultWorkerRedialAttempts, backoff: DefaultWorkerRedialBackoff}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	if assign.Kind != frameAssign {
-		return fmt.Errorf("tcpnet: worker expected assignment, got frame kind %d", assign.Kind)
-	}
+	sess := newSession(0, o.maxFrames, o.maxBytes)
 	w := &worker{
-		enc:    ww,
-		actors: make(map[rt.NodeID]rt.Actor),
-		start:  time.Now(),
+		conn:    conn,
+		sess:    sess,
+		opts:    o,
+		factory: factory,
+		enc:     newSessionWriter(conn, sess),
+		actors:  make(map[rt.NodeID]rt.Actor),
+		start:   time.Now(),
 	}
-	for _, id := range assign.IDs {
-		a, err := factory(assign.CfgBlob, rt.NodeID(id))
-		if err != nil {
-			return fmt.Errorf("tcpnet: worker build actor %d: %w", id, err)
-		}
-		w.actors[rt.NodeID(id)] = a
-	}
-	putFrame(assign)
-
+	r := newWireReader(conn)
 	for {
 		f, err := r.ReadFrame()
 		if err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("tcpnet: worker read: %w", err)
-		}
-		switch f.Kind {
-		case frameMsg:
-			// processed counts coordinator-delivered frames only; local
-			// cascades between this worker's actors drain synchronously
-			// inside drainLocal before any report goes out, so
-			// "delivered == processed" still implies no hidden work.
-			w.processed++
-			w.queue = append(w.queue, localDelivery{
-				from: rt.NodeID(f.From), to: rt.NodeID(f.To), msg: f.Msg,
-			})
-			putFrame(f)
-			if err := w.drainLocal(); err != nil {
+			if r, err = w.reconnect(err); err != nil || r == nil {
 				return err
 			}
-		case framePing:
-			// Liveness probe; pongs stay outside the processed/emitted
-			// counters so they cannot perturb the quiescence predicate.
-			putFrame(f)
-			if err := ww.WriteFrame(&frame{Kind: framePong}); err != nil {
-				return fmt.Errorf("tcpnet: worker pong: %w", err)
+			continue
+		}
+		w.sess.peerAck(f.Ack)
+		process := true
+		if f.Seq > 0 {
+			var serr error
+			if process, serr = w.sess.acceptSeq(f.Seq); serr != nil {
+				// A sequence gap means loss the protocol failed to mask;
+				// drop the connection and let resume re-establish order.
+				putFrame(f)
+				if r, err = w.reconnect(serr); err != nil || r == nil {
+					return err
+				}
+				continue
 			}
-		case frameShutdown:
-			putFrame(f)
-			return nil
-		default:
-			kind := f.Kind
-			putFrame(f)
-			return fmt.Errorf("tcpnet: worker got unexpected frame kind %d", kind)
+		}
+		if !process {
+			putFrame(f) // duplicate from a retransmission overlap
+		} else {
+			switch f.Kind {
+			case frameAssign:
+				err := w.applyAssign(f)
+				putFrame(f)
+				if err != nil {
+					return err
+				}
+			case frameMsg:
+				// processed counts coordinator-delivered frames only; local
+				// cascades between this worker's actors drain synchronously
+				// inside drainLocal before any report goes out, so
+				// "delivered == processed" still implies no hidden work.
+				w.processed++
+				w.queue = append(w.queue, localDelivery{
+					from: rt.NodeID(f.From), to: rt.NodeID(f.To), msg: f.Msg,
+				})
+				putFrame(f)
+				if err := w.drainLocal(); err != nil {
+					return err
+				}
+			case framePing:
+				// Liveness probe; pongs stay outside the processed/emitted
+				// counters so they cannot perturb the quiescence predicate.
+				putFrame(f)
+				_ = w.enc.WriteFrame(&frame{Kind: framePong})
+			case frameAck:
+				// The peerAck above is the whole point.
+				putFrame(f)
+			case frameShutdown:
+				putFrame(f)
+				return nil
+			default:
+				kind := f.Kind
+				putFrame(f)
+				return fmt.Errorf("tcpnet: worker got unexpected frame kind %d", kind)
+			}
 		}
 		// About to loop back into a read. If more input is already
 		// buffered we keep processing — the batch is still in progress.
 		// Otherwise this is a blocking point: report the counters (if
-		// they moved) and push everything onto the wire.
+		// they moved), make sure the coordinator's retransmit buffer gets
+		// an ack even when we emitted nothing to carry one, push
+		// everything onto the wire, and only then act on any transport
+		// failure the buffered writer has been sitting on.
 		if r.Buffered() == 0 {
-			if err := w.report(); err != nil {
-				return err
+			w.report()
+			if w.sess.needAck() {
+				_ = w.enc.WriteFrame(&frame{Kind: frameAck})
 			}
-			if err := ww.Flush(); err != nil {
-				return fmt.Errorf("tcpnet: worker flush: %w", err)
+			_ = w.enc.Flush()
+			if w.fatal != nil {
+				return w.fatal
+			}
+			if werr := w.enc.Err(); werr != nil {
+				if r, err = w.reconnect(werr); err != nil || r == nil {
+					return err
+				}
 			}
 		}
 	}
@@ -104,15 +180,162 @@ func RunWorker(conn net.Conn, factory ActorFactory) error {
 
 // worker is the in-process state of one worker.
 type worker struct {
-	enc          *wireWriter
-	actors       map[rt.NodeID]rt.Actor
-	queue        []localDelivery
-	start        time.Time
+	conn     net.Conn
+	enc      *wireWriter
+	sess     *session
+	opts     workerOpts
+	factory  ActorFactory
+	actors   map[rt.NodeID]rt.Actor
+	queue    []localDelivery
+	start    time.Time
+	assigned bool
+
 	processed    int64 // cumulative coordinator-delivered frames handled
 	emitted      int64 // cumulative messages written to the coordinator
 	repProcessed int64 // processed as of the last report sent
 	repEmitted   int64 // emitted as of the last report sent
-	sendErr      error // first failed coordinator write, surfaced by drainLocal
+	repResumes   int64 // resumes as of the last report sent
+
+	resumes       int64 // session resumes performed
+	retransmitted int64 // frames replayed to the coordinator on resume
+	checksumFails int64 // corrupted frames rejected on this worker's reads
+
+	fatal error // first encode failure; surfaced at the next blocking point
+}
+
+// applyAssign installs (or reinstalls) this worker's assignment: adopt the
+// session identity the coordinator dictates, build the actors, and zero
+// the counters. A re-assignment mid-run is the full-reassignment recovery
+// rung — everything this worker held is gone from the protocol's point of
+// view, and the scheduler is re-streaming it.
+func (w *worker) applyAssign(f *frame) error {
+	if w.assigned && f.Session == w.sess.id && f.Epoch == w.sess.epochNow() {
+		return nil // duplicate of the current assignment
+	}
+	w.sess.adopt(f.Session, f.Epoch)
+	actors := make(map[rt.NodeID]rt.Actor, len(f.IDs))
+	for _, id := range f.IDs {
+		a, err := w.factory(f.CfgBlob, rt.NodeID(id))
+		if err != nil {
+			return fmt.Errorf("tcpnet: worker build actor %d: %w", id, err)
+		}
+		actors[rt.NodeID(id)] = a
+	}
+	w.actors = actors
+	w.queue = nil
+	w.processed, w.emitted = 0, 0
+	w.repProcessed, w.repEmitted = 0, 0
+	w.assigned = true
+	return nil
+}
+
+// reconnect handles a broken connection. Returns the reader for the
+// replacement connection, or (nil, nil) for a clean shutdown, or an error
+// when the worker cannot continue.
+func (w *worker) reconnect(cause error) (*wireReader, error) {
+	if errors.Is(cause, wire.ErrChecksum) {
+		w.checksumFails++
+	}
+	_ = w.conn.Close()
+	clean := errors.Is(cause, io.EOF)
+	if w.opts.dial == nil || !w.assigned {
+		if clean {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("tcpnet: worker connection: %w", cause)
+	}
+	lastErr := cause
+	for attempt := 0; attempt < w.opts.attempts; attempt++ {
+		if attempt > 0 && w.opts.backoff > 0 {
+			time.Sleep(w.opts.backoff)
+		}
+		conn, err := w.opts.dial()
+		if err != nil {
+			if clean {
+				// EOF and nobody accepting redials: the coordinator
+				// closed its resume listener before the connections —
+				// a normal shutdown, not a fault.
+				return nil, nil
+			}
+			lastErr = err
+			continue
+		}
+		r, herr := w.handshake(conn)
+		if herr != nil {
+			_ = conn.Close()
+			lastErr = herr
+			continue
+		}
+		return r, nil
+	}
+	if clean {
+		return nil, nil
+	}
+	return nil, fmt.Errorf("tcpnet: worker lost coordinator (%v); redial gave up: %v", cause, lastErr)
+}
+
+// handshake runs the worker's half of the resume protocol on a freshly
+// dialed connection: send the hello, then either resume (replaying our
+// unacked frames past the coordinator's receive position) or accept a
+// fresh assignment.
+func (w *worker) handshake(conn net.Conn) (*wireReader, error) {
+	enc := newSessionWriter(conn, w.sess)
+	hello := &frame{Kind: frameResume, Session: w.sess.id, Epoch: w.sess.epochNow(),
+		LastSeq: w.sess.seen(), CanReplay: w.sess.resumable()}
+	if err := enc.WriteFrame(hello); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(resumeHandshakeTimeout))
+	r := newWireReader(conn)
+	f, err := r.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	w.sess.peerAck(f.Ack)
+	switch f.Kind {
+	case frameResumeOK:
+		w.sess.peerAck(f.LastSeq)
+		retrans := w.sess.unackedSince(f.LastSeq)
+		for _, b := range retrans {
+			if err := enc.WriteRaw(b); err != nil {
+				putFrame(f)
+				return nil, err
+			}
+		}
+		putFrame(f)
+		w.resumes++
+		w.retransmitted += int64(len(retrans))
+		w.conn = conn
+		w.enc = enc
+		// Any report in the replay predates the disconnect and carries
+		// stale session stats; follow the replay with a fresh one so the
+		// coordinator sees this resume even if the run quiesces before the
+		// worker's next blocking point.
+		w.report()
+		if err := enc.Flush(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case frameAssign:
+		// The coordinator rejected the resume: rebuild from scratch
+		// under the new epoch (the full-reassignment rung).
+		aerr := w.applyAssign(f)
+		putFrame(f)
+		if aerr != nil {
+			return nil, aerr
+		}
+		w.conn = conn
+		w.enc = enc
+		return r, nil
+	default:
+		kind := f.Kind
+		putFrame(f)
+		return nil, fmt.Errorf("tcpnet: unexpected resume reply kind %d", kind)
+	}
 }
 
 // drainLocal processes the queue to empty (local sends between this
@@ -131,20 +354,25 @@ func (w *worker) drainLocal() error {
 		env.self = d.to
 		a.Receive(env, d.from, d.msg)
 	}
-	return w.sendErr
+	return w.fatal
 }
 
 // report writes a counter report if the counters moved since the last one.
-// Only called with an empty local queue, so the counters are settled.
-func (w *worker) report() error {
-	if w.processed == w.repProcessed && w.emitted == w.repEmitted {
-		return nil
+// Only called with an empty local queue, so the counters are settled. The
+// report rides the session layer like any reliable frame: it is sequenced,
+// buffered for retransmission, and carries the worker's session stats for
+// the coordinator's run report.
+func (w *worker) report() {
+	if w.processed == w.repProcessed && w.emitted == w.repEmitted && w.resumes == w.repResumes {
+		return
 	}
-	if err := w.enc.WriteFrame(&frame{Kind: frameReport, Processed: w.processed, Emitted: w.emitted}); err != nil {
-		return fmt.Errorf("tcpnet: worker report: %w", err)
+	f := &frame{Kind: frameReport, Processed: w.processed, Emitted: w.emitted,
+		WFrames: w.sess.framesSent(), WResumes: w.resumes, WRetrans: w.retransmitted,
+		WChecksum: w.checksumFails, WDups: w.sess.dupes()}
+	if err := w.enc.WriteFrame(f); err != nil && w.fatal == nil {
+		w.fatal = fmt.Errorf("tcpnet: worker report: %w", err)
 	}
-	w.repProcessed, w.repEmitted = w.processed, w.emitted
-	return nil
+	w.repProcessed, w.repEmitted, w.repResumes = w.processed, w.emitted, w.resumes
 }
 
 // workerEnv implements runtime.Env for worker-hosted actors.
@@ -159,20 +387,21 @@ type workerEnv struct {
 func (e *workerEnv) Now() int64 { return time.Since(e.w.start).Nanoseconds() }
 
 // Send implements runtime.Env: local destinations cascade in-process,
-// everything else goes through the coordinator. A failed coordinator write
-// is recorded and surfaced after the current message finishes processing —
-// actors cannot handle transport errors mid-Receive, but the worker must
-// not panic on them.
+// everything else goes through the coordinator. The session writer accepts
+// frames even while the connection is down — they land in the retransmit
+// buffer for replay on resume — so only encode failures surface here, and
+// those after the current message finishes processing: actors cannot
+// handle transport errors mid-Receive, and the worker must not panic on
+// them.
 func (e *workerEnv) Send(to rt.NodeID, m rt.Message) {
 	if _, local := e.w.actors[to]; local {
 		e.w.queue = append(e.w.queue, localDelivery{from: e.self, to: to, msg: m})
 		return
 	}
-	if e.w.sendErr != nil {
-		return
-	}
 	if err := e.w.enc.WriteFrame(&frame{Kind: frameMsg, From: int32(e.self), To: int32(to), Msg: m}); err != nil {
-		e.w.sendErr = fmt.Errorf("tcpnet: worker write %T to node %d: %w", m, to, err)
+		if e.w.fatal == nil {
+			e.w.fatal = fmt.Errorf("tcpnet: worker encode %T to node %d: %w", m, to, err)
+		}
 		return
 	}
 	e.w.emitted++

@@ -102,7 +102,7 @@ func AppendMessage(buf []byte, m rt.Message) ([]byte, error) {
 // message shares no memory with data.
 func DecodeMessage(data []byte) (rt.Message, error) {
 	if len(data) < 1 {
-		return nil, fmt.Errorf("wire: empty message payload")
+		return nil, fmt.Errorf("wire: empty message payload: %w", ErrTruncated)
 	}
 	id, payload := data[0], data[1:]
 	if id == gobFallback {
