@@ -1,0 +1,92 @@
+// Command ehjalint runs ehjoin's in-tree invariant analyzers over the
+// module and fails (exit 1) on any finding. It is the mechanical form of
+// the correctness argument the test suite leans on: determinism of the
+// simulated paths, channel and lock discipline in the transport,
+// wire-format exhaustiveness, and report-counter sync.
+//
+// Usage:
+//
+//	go run ./cmd/ehjalint ./...          # the CI pre-merge gate
+//	go run ./cmd/ehjalint -checks determinism,lockcheck ./internal/...
+//	go run ./cmd/ehjalint -list          # describe every analyzer
+//
+// Intentional exceptions are annotated in the source they excuse:
+//
+//	//lint:allow <check> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; -v prints every suppression so exceptions stay auditable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ehjoin/internal/lint"
+)
+
+func main() {
+	var (
+		checks  = flag.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		verbose = flag.Bool("v", false, "also print suppressed findings")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n", a.Name)
+			for _, line := range strings.Split(a.Doc, "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		return
+	}
+	if *checks != "" {
+		want := map[string]bool{}
+		for _, c := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(c)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for unknown := range want {
+			fmt.Fprintf(os.Stderr, "ehjalint: unknown check %q\n", unknown)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	pkgs, err := lint.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehjalint:", err)
+		os.Exit(2)
+	}
+	res, err := lint.RunSuite(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ehjalint:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, d := range res.Suppressed {
+			fmt.Printf("%s (suppressed)\n", d)
+		}
+	}
+	for _, d := range res.Findings {
+		fmt.Println(d)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ehjalint: %d finding(s) in %d package(s)\n", len(res.Findings), len(pkgs))
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Printf("ehjalint: clean (%d packages, %d suppression(s))\n", len(pkgs), len(res.Suppressed))
+	}
+}

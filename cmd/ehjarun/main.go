@@ -185,9 +185,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(r)
-	fmt.Printf("wire: %.1f MB in %d messages; spill: %d MB written, %d MB read; wall clock %.1fs\n",
+	fmt.Printf("wire: %.1f MB in %d messages; spill: %d MB written, %d MB read, %d BNL pass(es); wall clock %.1fs\n",
 		float64(r.WireBytes)/(1<<20), r.Messages,
-		r.SpillWrittenBytes>>20, r.SpillReadBytes>>20, time.Since(wall).Seconds())
+		r.SpillWrittenBytes>>20, r.SpillReadBytes>>20, r.BNLPasses, time.Since(wall).Seconds())
+	fmt.Printf("comm: %d tuples split-moved, %d reshuffled, %d stray re-routed; %d chunks forwarded; "+
+		"%d probe tuples processed\n",
+		r.SplitMovedTuples, r.ReshuffleTuples, r.StrayBuildTuples, r.ForwardedChunks,
+		r.ProbeTuplesProcessed)
 	if r.NodesLost > 0 {
 		fmt.Printf("recovery: %d node(s) lost, %d recovered exactly in %.3fs; "+
 			"re-streamed %d chunks (%d tuples), purged %d surviving copies, dropped %d stale in-flight\n",
@@ -207,6 +211,13 @@ func main() {
 			"(utilization %.0f%%), critical path %.2fs\n",
 			r.Cores, r.PoolMorsels, r.PoolBusySec, r.PoolSpanSec,
 			100*r.PoolUtilization, r.PoolCritSec)
+	}
+	if *verbose && len(r.Events) > 0 {
+		fmt.Println("expansion log:")
+		for _, ev := range r.Events {
+			fmt.Printf("  %-12s node %2d peer %2d range [%d,%d) bytes %d\n",
+				ev.Kind, ev.Node, ev.Peer, ev.Range.Lo, ev.Range.Hi, ev.Bytes)
+		}
 	}
 	if *verbose {
 		for i, l := range r.NodeLoads {

@@ -159,6 +159,9 @@ func (r *Report) String() string {
 		s += fmt.Sprintf(" probe-expansions %d (output %d MB)",
 			r.ProbeExpansions, r.OutputBytes>>20)
 	}
+	if r.ExhaustedResources {
+		s += " EXHAUSTED"
+	}
 	if r.NodesLost > 0 {
 		s += fmt.Sprintf(" lost %d recovered %d recovery %.3fs re-streamed %d chunks (%d tuples)",
 			r.NodesLost, r.NodesRecovered, r.RecoverySec, r.RestreamedChunks, r.RestreamedTuples)

@@ -678,7 +678,11 @@ func (sc *schedActor) degrade(env rt.Env) {
 		}
 		// Reshuffle groups must neither wait for nor assign ranges to the
 		// dead member.
-		for lo, g := range sc.pendingGroups {
+		for _, lo := range sortedGroupKeys(sc.pendingGroups) {
+			g, ok := sc.pendingGroups[lo]
+			if !ok {
+				continue
+			}
 			for i, m := range g.members {
 				if m == node {
 					g.members = append(g.members[:i], g.members[i+1:]...)

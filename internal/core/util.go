@@ -19,6 +19,19 @@ func sortedNodeIDs(m map[rt.NodeID]*tuple.Builder) []rt.NodeID {
 	return out
 }
 
+// sortedGroupKeys returns the pending-reshuffle-group keys (entry range
+// lows) in ascending order. degrade() finishes groups — which emits
+// activation messages — while walking this map, so iteration order must
+// not leak into the message stream.
+func sortedGroupKeys(m map[int]*groupState) []int {
+	out := make([]int, 0, len(m))
+	for lo := range m {
+		out = append(out, lo)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // sortedDeadNodes returns the declared-dead set in ascending id order, for
 // the same determinism reason.
 func sortedDeadNodes(m map[rt.NodeID]bool) []rt.NodeID {

@@ -57,6 +57,12 @@ type Sharded struct {
 	spanNs  int64 // Σ batch wall times (dispatch + barrier included)
 	morsels int64
 	batches int64
+
+	// clock supplies the readings for the execution statistics above. It
+	// is the table's only clock access, injectable via SetClock, so the
+	// deterministic simulation paths stay wall-clock-free by construction:
+	// simulated time is charged from ParallelStats, never from here.
+	clock func() time.Time
 }
 
 // ParallelStats describes one parallel batch: per-shard morsel sizes
@@ -106,12 +112,22 @@ func NewSharded(space hashfn.Space, layout tuple.Layout, shards int, pool *Pool)
 		perShardNs:   make([]int64, shards),
 		shardMatches: make([]int64, shards),
 		shardXor:     make([]uint64, shards),
+		// The single sanctioned wall-clock read in this package: ExecStats
+		// is diagnostic pool-utilisation telemetry, reported alongside the
+		// simulation but never fed back into simulated time or results.
+		//lint:allow determinism ExecStats telemetry only; results and simulated time never depend on it
+		clock: time.Now,
 	}
 	for i := range s.shards {
 		s.shards[i] = NewShard(space, layout, i, shards)
 	}
 	return s
 }
+
+// SetClock replaces the wall clock behind ExecStats with fn, which must
+// be safe for concurrent use (morsels read it in parallel). Tests inject
+// a fake to pin utilisation arithmetic without timing races.
+func (s *Sharded) SetClock(fn func() time.Time) { s.clock = fn }
 
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
@@ -160,9 +176,9 @@ func (s *Sharded) dispatch(fns []func()) {
 	for i := range s.perShardNs {
 		s.perShardNs[i] = 0
 	}
-	t0 := time.Now()
+	t0 := s.clock()
 	s.pool.Run(fns)
-	s.spanNs += time.Since(t0).Nanoseconds()
+	s.spanNs += s.clock().Sub(t0).Nanoseconds()
 	var crit int64
 	for _, ns := range s.perShardNs {
 		s.busyNs += ns
@@ -201,12 +217,12 @@ func (s *Sharded) InsertAll(ts []tuple.Tuple) ParallelStats {
 		sh := sh
 		morsel := s.gathered[s.offs[sh]:s.offs[sh+1]]
 		fns = append(fns, func() {
-			t0 := time.Now()
+			t0 := s.clock()
 			tbl := s.shards[sh]
 			for _, t := range morsel {
 				tbl.Insert(t)
 			}
-			s.perShardNs[sh] = time.Since(t0).Nanoseconds()
+			s.perShardNs[sh] = s.clock().Sub(t0).Nanoseconds()
 		})
 	}
 	s.dispatch(fns)
@@ -235,7 +251,7 @@ func (s *Sharded) ProbeAll(ts []tuple.Tuple, mix func(build, probe tuple.Tuple) 
 		sh := sh
 		morsel := s.gathered[s.offs[sh]:s.offs[sh+1]]
 		fns = append(fns, func() {
-			t0 := time.Now()
+			t0 := s.clock()
 			tbl := s.shards[sh]
 			var m int64
 			var x uint64
@@ -247,7 +263,7 @@ func (s *Sharded) ProbeAll(ts []tuple.Tuple, mix func(build, probe tuple.Tuple) 
 			}
 			s.shardMatches[sh] = m
 			s.shardXor[sh] = x
-			s.perShardNs[sh] = time.Since(t0).Nanoseconds()
+			s.perShardNs[sh] = s.clock().Sub(t0).Nanoseconds()
 		})
 	}
 	s.dispatch(fns)

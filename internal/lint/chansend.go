@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// chanDisciplinePkgs are the packages whose event loops must never block
+// unconditionally on a channel: the TCP transport's drain and writer
+// loops, where an unbounded send was the PR 2 mutual-write-stall class.
+var chanDisciplinePkgs = map[string]bool{"tcpnet": true}
+
+// NewChanSend returns the channel-discipline analyzer: inside the
+// transport package, every channel send must be a select case, so the
+// sender always has a shutdown, stall-timeout, or inbox-servicing
+// alternative. A send that can tolerate blocking forever does not belong
+// on a drain or writer loop; if one is genuinely safe (e.g. a buffered
+// channel sized to the maximum possible sends), annotate it with
+// //lint:allow chansend and say why.
+func NewChanSend() *Analyzer {
+	a := &Analyzer{
+		Name: "chansend",
+		Doc: "flags blocking channel sends outside select in the tcpnet package:\n" +
+			"drain/writer loops must pair every send with a shutdown or stall case",
+	}
+	a.Run = func(pass *Pass) error {
+		if !chanDisciplinePkgs[pass.Pkg.Name()] {
+			return nil
+		}
+		for _, f := range pass.Files {
+			// A send is sanctioned when it is the comm statement of a
+			// select case; collect those first, then flag the rest.
+			inSelect := map[*ast.SendStmt]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectStmt); ok {
+					for _, cl := range sel.Body.List {
+						if send, ok := cl.(*ast.CommClause).Comm.(*ast.SendStmt); ok {
+							inSelect[send] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				send, ok := n.(*ast.SendStmt)
+				if !ok || inSelect[send] {
+					return true
+				}
+				pass.Reportf(send.Pos(), "blocking send on %s outside select: transport loops must "+
+					"pair every send with a shutdown/stall case (the PR 2 mutual-write-stall class)",
+					types.ExprString(send.Chan))
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

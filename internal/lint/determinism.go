@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs names the packages whose outputs must be bit-identical
+// across replays: the simulator, the protocol core, the runtime contracts,
+// the hash tables, and everything that renders reports and figures. The
+// live TCP transport (tcpnet, live) legitimately reads wall clocks and is
+// excluded; command mains are excluded by their package name.
+var deterministicPkgs = map[string]bool{
+	"sim": true, "core": true, "runtime": true, "hashtable": true,
+	"expt": true, "trace": true, "datagen": true, "hashfn": true,
+	"metrics": true, "tuple": true, "spill": true, "wire": true,
+}
+
+// bannedTimeFuncs are the wall-clock entry points that make a replayed run
+// diverge from its recording.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// NewDeterminism returns the determinism analyzer. It enforces three rules
+// in the deterministic packages: no wall-clock reads (time.Now and
+// friends), no global math/rand state (seeded rand.New sources are fine —
+// and the global-source rule applies to every package, because even the
+// chaos injector must be scriptable), and no order-sensitive work inside
+// `range` over a map (append of computed values, function calls, prints,
+// sends, non-commutative accumulation). Collecting just the keys or values
+// into a slice is allowed — that is the sort-then-iterate idiom's first
+// half — as are commutative integer accumulations and writes keyed by the
+// loop variable.
+func NewDeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc: "flags wall-clock reads, global math/rand, and order-sensitive map iteration\n" +
+			"in the packages whose outputs must be bit-identical across replays\n" +
+			"(sim, core, runtime, hashtable, expt, trace, datagen, hashfn, metrics, tuple, spill, wire)",
+	}
+	a.Run = func(pass *Pass) error {
+		inScope := deterministicPkgs[pass.Pkg.Name()]
+		for _, f := range pass.Files {
+			// Callee expressions of calls, so the value-capture rule below
+			// does not double-report call sites (parents visit first).
+			calleeNodes := map[ast.Expr]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					// time.Now captured as a value (`clock: time.Now`) reads
+					// the wall clock just as surely as calling it.
+					if !inScope || calleeNodes[ast.Expr(n)] {
+						return true
+					}
+					if fn, ok := pass.Info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+						fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+						if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() == nil {
+							pass.Reportf(n.Pos(), "wall-clock function time.%s captured as a value in "+
+								"deterministic package %q: inject a clock instead", fn.Name(), pass.Pkg.Name())
+						}
+					}
+				case *ast.CallExpr:
+					calleeNodes[n.Fun] = true
+					fn := calleeFunc(pass.Info, n)
+					if fn == nil || fn.Pkg() == nil {
+						return true
+					}
+					sig, _ := fn.Type().(*types.Signature)
+					pkgLevel := sig != nil && sig.Recv() == nil
+					if inScope && fn.Pkg().Path() == "time" && pkgLevel && bannedTimeFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(), "wall-clock call time.%s in deterministic package %q: "+
+							"inject a clock or charge virtual time instead", fn.Name(), pass.Pkg.Name())
+					}
+					if (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") &&
+						pkgLevel && fn.Name() != "New" && fn.Name() != "NewSource" {
+						pass.Reportf(n.Pos(), "global math/rand source (rand.%s): every random draw "+
+							"must come from an explicitly seeded rand.New source", fn.Name())
+					}
+				case *ast.RangeStmt:
+					if !inScope {
+						return true
+					}
+					if t := pass.Info.TypeOf(n.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							checkMapRangeBody(pass, n)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkMapRangeBody reports every order-sensitive statement in the body of
+// a `range` over a map.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	c := &mapRangeChecker{pass: pass, rng: rng, rangeVars: rangeVars}
+	c.stmts(rng.Body.List)
+}
+
+type mapRangeChecker struct {
+	pass      *Pass
+	rng       *ast.RangeStmt
+	rangeVars map[types.Object]bool
+}
+
+func (c *mapRangeChecker) flag(pos token.Pos, what string) {
+	c.pass.Reportf(pos, "%s inside range over map %s: map iteration order is random — "+
+		"iterate sorted keys, or annotate why order cannot matter",
+		what, types.ExprString(c.rng.X))
+}
+
+func (c *mapRangeChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *mapRangeChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		// x++ / x-- commute.
+	case *ast.DeclStmt:
+		// Local declaration.
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			c.call(call)
+		} else {
+			c.flag(s.Pos(), "order-sensitive statement")
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.IfStmt:
+		c.condExpr(s.Cond)
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmts(s.Body.List)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			c.condExpr(s.Cond)
+		}
+		c.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		c.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			c.condExpr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			c.flag(s.Pos(), "goto")
+		}
+	case *ast.ReturnStmt:
+		// Returning only constants is the any/all-quantifier pattern
+		// (`for _, q := range m { if bad(q) { return true } }`): which
+		// element triggers it cannot be observed. Returning anything
+		// derived from the element picks an arbitrary one.
+		for _, r := range s.Results {
+			if tv, ok := c.pass.Info.Types[r]; !ok || tv.Value == nil && !isNilIdent(c.pass.Info, r) {
+				c.flag(s.Pos(), "return of non-constant (picks an arbitrary element)")
+				return
+			}
+		}
+	case *ast.SendStmt:
+		c.flag(s.Pos(), "channel send")
+	case *ast.DeferStmt:
+		c.flag(s.Pos(), "defer")
+	case *ast.GoStmt:
+		c.flag(s.Pos(), "goroutine launch")
+	default:
+		c.flag(s.Pos(), "order-sensitive statement")
+	}
+}
+
+// assign classifies one assignment inside the loop body.
+func (c *mapRangeChecker) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.DEFINE:
+		return // fresh locals each iteration
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if c.mapOrKeyedWrite(lhs) || c.localWrite(lhs) {
+				continue
+			}
+			// The one blessed outer write: collecting the loop key/value
+			// into a slice for sorting, s = append(s, k).
+			if i < len(s.Rhs) {
+				if call, ok := s.Rhs[i].(*ast.CallExpr); ok && c.isKeyCollectingAppend(lhs, call) {
+					continue
+				}
+			}
+			c.flag(s.Pos(), "assignment to outer variable (last writer wins in map order)")
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		for _, lhs := range s.Lhs {
+			t := c.pass.Info.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsInteger == 0 {
+				c.flag(s.Pos(), "non-commutative accumulation (only integer += / ^= / |= / &= commute exactly)")
+			}
+		}
+	default:
+		c.flag(s.Pos(), "order-sensitive compound assignment")
+	}
+}
+
+// mapOrKeyedWrite reports whether lhs is a write whose destination is keyed
+// uniquely per iteration: a map index, or a slice/array indexed directly by
+// the loop key.
+func (c *mapRangeChecker) mapOrKeyedWrite(lhs ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if t := c.pass.Info.TypeOf(ix.X); t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	if id, ok := ix.Index.(*ast.Ident); ok {
+		if obj := c.pass.Info.Uses[id]; obj != nil && c.rangeVars[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// localWrite reports whether lhs is a variable declared inside the loop.
+func (c *mapRangeChecker) localWrite(lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return id == nil
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Info.Defs[id]
+	}
+	return obj != nil && obj.Pos() > c.rng.Pos() && obj.Pos() < c.rng.End()
+}
+
+// isKeyCollectingAppend recognises `s = append(s, k)` where every appended
+// operand is a bare range variable — the gather half of sort-then-iterate.
+func (c *mapRangeChecker) isKeyCollectingAppend(lhs ast.Expr, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := c.pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) < 2 || types.ExprString(call.Args[0]) != types.ExprString(lhs) {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		aid, ok := arg.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := c.pass.Info.Uses[aid]
+		if obj == nil || !c.rangeVars[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// call classifies a bare call statement inside the loop body: only
+// order-free builtins pass.
+func (c *mapRangeChecker) call(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "delete":
+				// Deleting from the ranged map itself is defined and
+				// order-independent; deleting elsewhere is not.
+				if len(call.Args) == 2 &&
+					types.ExprString(call.Args[0]) == types.ExprString(c.rng.X) {
+					return
+				}
+			}
+		}
+	}
+	c.flag(call.Pos(), "function call (effects run in map-iteration order)")
+}
+
+// condExpr flags calls hidden in conditions; everything else in an
+// expression position is effect-free.
+func (c *mapRangeChecker) condExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "min", "max":
+					return true
+				}
+			}
+		}
+		c.flag(call.Pos(), "function call in condition (effects run in map-iteration order)")
+		return false
+	})
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

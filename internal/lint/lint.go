@@ -1,0 +1,244 @@
+// Package lint is ehjoin's in-tree static-analysis suite: a small
+// go/analysis-style framework plus the analyzers that mechanically enforce
+// this codebase's correctness invariants — determinism of the simulated
+// paths, channel and lock discipline in the TCP transport, wire-format
+// exhaustiveness, and report-counter sync. The cmd/ehjalint driver runs
+// every analyzer over the module and fails CI on any finding.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is built on the standard library only:
+// packages are loaded from `go list -export` metadata and type-checked
+// against compiler export data, so the suite needs no dependencies beyond
+// the toolchain itself.
+//
+// # Suppressions
+//
+// An intentional exception is annotated in the source it excuses:
+//
+//	busy := wallClock() //lint:allow determinism exec stats are diagnostic only
+//
+// The comment must name the check and give a non-empty reason, and may sit
+// on the flagged line or on the line directly above it. A suppression
+// without a reason is itself reported, so every exception stays visible
+// and justified in the diff.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Analyzers are stateful per
+// run (program-level checks accumulate facts across packages), so always
+// obtain fresh instances from Analyzers().
+type Analyzer struct {
+	// Name identifies the check in diagnostics and //lint:allow comments.
+	Name string
+	// Doc is the one-paragraph description printed by `ehjalint -list`.
+	Doc string
+	// Run inspects one package. It may report diagnostics immediately or
+	// record facts for Finish.
+	Run func(*Pass) error
+	// Finish, if non-nil, runs once after every package's Run and reports
+	// program-level diagnostics (e.g. "this field is read nowhere").
+	Finish func(report func(Diagnostic)) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned for the editor.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Check)
+}
+
+// Analyzers returns a fresh instance of every check in the suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(),
+		NewChanSend(),
+		NewLockCheck(),
+		NewWireExhaustive(),
+		NewReportSync(),
+	}
+}
+
+// suppression is one parsed //lint:allow comment.
+type suppression struct {
+	check  string
+	reason string
+	line   int
+	used   bool
+	pos    token.Position
+}
+
+const allowPrefix = "//lint:allow "
+
+// collectSuppressions parses every //lint:allow comment in the package.
+// Malformed suppressions (no check, or no reason) are reported as
+// diagnostics of the pseudo-check "lint".
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (map[string][]*suppression, []Diagnostic) {
+	byFile := make(map[string][]*suppression)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, strings.TrimSpace(allowPrefix)) &&
+					!strings.HasPrefix(c.Text, "//lint:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, "//lint:allow")
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Check: "lint", Pos: pos,
+						Message: "//lint:allow needs a check name and a reason: //lint:allow <check> <reason>",
+					})
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], &suppression{
+					check:  fields[0],
+					reason: strings.Join(fields[1:], " "),
+					line:   pos.Line,
+					pos:    pos,
+				})
+			}
+		}
+	}
+	return byFile, malformed
+}
+
+// applySuppressions filters diags through the package's //lint:allow
+// comments: a diagnostic is suppressed when a matching comment sits on its
+// line or the line directly above. It returns the kept diagnostics, the
+// suppressed ones, and diagnostics for malformed or unused suppressions.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) (kept, suppressed, meta []Diagnostic) {
+	byFile, malformed := collectSuppressions(fset, files)
+	meta = append(meta, malformed...)
+	for _, d := range diags {
+		var hit *suppression
+		for _, s := range byFile[d.Pos.Filename] {
+			if s.check == d.Check && (s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
+				hit = s
+				break
+			}
+		}
+		if hit != nil {
+			hit.used = true
+			suppressed = append(suppressed, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed, meta
+}
+
+// sortDiags orders diagnostics by file, line, column, then check name.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}
+
+// Result is the outcome of one suite run over a set of packages.
+type Result struct {
+	// Findings are the surviving diagnostics, sorted by position.
+	Findings []Diagnostic
+	// Suppressed are diagnostics silenced by //lint:allow comments.
+	Suppressed []Diagnostic
+}
+
+// RunSuite runs every analyzer over the loaded packages, applies
+// suppressions, and returns the combined result. An analyzer error aborts
+// the run: it means the analyzer itself is broken, not the code.
+func RunSuite(analyzers []*Analyzer, pkgs []*LoadedPackage) (*Result, error) {
+	res := &Result{}
+	for _, p := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     p.Fset,
+				Files:    p.Files,
+				Pkg:      p.Types,
+				Info:     p.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, p.PkgPath, err)
+			}
+		}
+		kept, supp, meta := applySuppressions(p.Fset, p.Files, diags)
+		res.Findings = append(res.Findings, kept...)
+		res.Findings = append(res.Findings, meta...)
+		res.Suppressed = append(res.Suppressed, supp...)
+	}
+	// Program-level finishes: their diagnostics are positioned in whatever
+	// package declares the offending object, so suppressions are resolved
+	// against every loaded file.
+	var finishDiags []Diagnostic
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		if err := a.Finish(func(d Diagnostic) { finishDiags = append(finishDiags, d) }); err != nil {
+			return nil, fmt.Errorf("lint: %s finish: %w", a.Name, err)
+		}
+	}
+	if len(finishDiags) > 0 {
+		var allFiles []*ast.File
+		var fset *token.FileSet
+		for _, p := range pkgs {
+			allFiles = append(allFiles, p.Files...)
+			fset = p.Fset
+		}
+		kept, supp, meta := applySuppressions(fset, allFiles, finishDiags)
+		res.Findings = append(res.Findings, kept...)
+		res.Findings = append(res.Findings, meta...)
+		res.Suppressed = append(res.Suppressed, supp...)
+	}
+	sortDiags(res.Findings)
+	sortDiags(res.Suppressed)
+	return res, nil
+}

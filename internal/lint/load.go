@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with the go tool, type-checks every matched
+// non-test package against compiler export data, and returns them ready
+// for analysis. Dependencies (the standard library included) are consumed
+// as export data only — they are never parsed — so a full-module load
+// costs little more than `go build ./...`, and everything works offline.
+func Load(patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %w", patterns, err)
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: parsing go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			pc := p
+			roots = append(roots, &pc)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var loaded []*LoadedPackage
+	for _, p := range roots {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s uses cgo, which the loader does not support", p.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+		}
+		loaded = append(loaded, &LoadedPackage{
+			PkgPath: p.ImportPath,
+			Name:    p.Name,
+			Dir:     p.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tp,
+			Info:    info,
+		})
+	}
+	if len(loaded) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %v", patterns)
+	}
+	return loaded, nil
+}

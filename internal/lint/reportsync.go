@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NewReportSync returns the report-sync analyzer: a program-level check
+// that every field of core.Report is both populated by a merge site and
+// consumed by a print/merge site somewhere in the module. This is the
+// PR 4 stale-report class made structural: a counter added to Report but
+// forgotten in assembleReport (never written) or in every printer (never
+// read) silently vanishes at quiescence, and no test notices until one is
+// written for that exact counter.
+//
+// A "consuming" read is one in a function that does not also write the
+// field — the self-referential `r.X = r.X || v` merge idiom does not count
+// as consumption. Reads in _test.go files never count: tests asserting a
+// counter must not mask the production path losing it.
+func NewReportSync() *Analyzer {
+	a := &Analyzer{
+		Name: "reportsync",
+		Doc: "verifies every core.Report field is populated by a merge site and consumed\n" +
+			"by a print/merge site, so new counters cannot silently vanish at quiescence",
+	}
+
+	type fieldState struct {
+		pos      token.Position
+		written  bool
+		consumed bool
+	}
+	fields := map[string]*fieldState{} // field name -> state
+	var fieldOrder []string
+
+	// isReportField reports whether sel selects a field of core.Report
+	// (matched structurally: a struct type named Report in a package named
+	// core, so it works identically on export data and fixtures).
+	isReportField := func(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return "", false
+		}
+		t := s.Recv()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		obj := named.Obj()
+		if obj.Name() != "Report" || obj.Pkg() == nil || obj.Pkg().Name() != "core" {
+			return "", false
+		}
+		// Only direct fields of the struct itself.
+		if s.Obj().Pkg() == nil || s.Obj().Pkg().Name() != "core" {
+			return "", false
+		}
+		return s.Obj().Name(), true
+	}
+
+	a.Run = func(pass *Pass) error {
+		// Register the field set when we see the defining package.
+		if pass.Pkg.Name() == "core" {
+			if tn, ok := pass.Pkg.Scope().Lookup("Report").(*types.TypeName); ok {
+				if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+					for i := 0; i < st.NumFields(); i++ {
+						f := st.Field(i)
+						if _, dup := fields[f.Name()]; !dup {
+							fields[f.Name()] = &fieldState{pos: pass.Fset.Position(f.Pos())}
+							fieldOrder = append(fieldOrder, f.Name())
+						}
+					}
+				}
+			}
+		}
+
+		for _, file := range pass.Files {
+			// Per enclosing function: which fields it reads and writes.
+			type funcAccess struct{ reads, writes map[string]bool }
+			accessOf := map[ast.Node]*funcAccess{}
+			var funcStack []ast.Node
+
+			access := func() *funcAccess {
+				if len(funcStack) == 0 {
+					return nil
+				}
+				top := funcStack[len(funcStack)-1]
+				fa := accessOf[top]
+				if fa == nil {
+					fa = &funcAccess{reads: map[string]bool{}, writes: map[string]bool{}}
+					accessOf[top] = fa
+				}
+				return fa
+			}
+
+			// writeTargets collects selectors in write position so the main
+			// walk can classify the rest as reads.
+			writeTargets := map[*ast.SelectorExpr]bool{}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if sel, ok := lhs.(*ast.SelectorExpr); ok {
+							writeTargets[sel] = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel, ok := n.X.(*ast.SelectorExpr); ok {
+						writeTargets[sel] = true
+					}
+				}
+				return true
+			})
+
+			var walk func(n ast.Node) bool
+			walk = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					funcStack = append(funcStack, n)
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						if fn.Body != nil {
+							ast.Inspect(fn.Body, walk)
+						}
+					case *ast.FuncLit:
+						ast.Inspect(fn.Body, walk)
+					}
+					funcStack = funcStack[:len(funcStack)-1]
+					return false
+				case *ast.CompositeLit:
+					// Report{Field: v} populates Field.
+					t := pass.Info.TypeOf(n)
+					if t != nil {
+						if p, ok := t.Underlying().(*types.Pointer); ok {
+							t = p.Elem()
+						}
+						if named, ok := t.(*types.Named); ok &&
+							named.Obj().Name() == "Report" &&
+							named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "core" {
+							for _, el := range n.Elts {
+								if kv, ok := el.(*ast.KeyValueExpr); ok {
+									if id, ok := kv.Key.(*ast.Ident); ok {
+										if fa := access(); fa != nil {
+											fa.writes[id.Name] = true
+										}
+									}
+								}
+							}
+						}
+					}
+					return true
+				case *ast.SelectorExpr:
+					name, ok := isReportField(pass.Info, n)
+					if !ok {
+						return true
+					}
+					if fa := access(); fa != nil {
+						if writeTargets[n] {
+							fa.writes[name] = true
+						} else {
+							fa.reads[name] = true
+						}
+					}
+					return true
+				}
+				return true
+			}
+			ast.Inspect(file, walk)
+
+			for _, fa := range accessOf {
+				for name := range fa.writes {
+					if fs := fields[name]; fs != nil {
+						fs.written = true
+					}
+				}
+				for name := range fa.reads {
+					if !fa.writes[name] {
+						if fs := fields[name]; fs != nil {
+							fs.consumed = true
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	a.Finish = func(report func(Diagnostic)) error {
+		if len(fieldOrder) == 0 {
+			return nil // core.Report not among the analyzed packages
+		}
+		sort.Strings(fieldOrder)
+		for _, name := range fieldOrder {
+			fs := fields[name]
+			switch {
+			case !fs.written && !fs.consumed:
+				report(Diagnostic{Check: "reportsync", Pos: fs.pos,
+					Message: "core.Report." + name + " is neither populated nor consumed anywhere: " +
+						"wire it into the merge and print sites or delete it"})
+			case !fs.written:
+				report(Diagnostic{Check: "reportsync", Pos: fs.pos,
+					Message: "core.Report." + name + " is never populated: no merge site assigns it, " +
+						"so it prints as zero on every run"})
+			case !fs.consumed:
+				report(Diagnostic{Check: "reportsync", Pos: fs.pos,
+					Message: "core.Report." + name + " is merged but never consumed outside its own " +
+						"merge: add it to a print site (Report.String or a command printer) so the " +
+						"counter cannot silently vanish at quiescence"})
+			}
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,11 @@
+// Package sim (allowsyntax fixture) pins the suppression grammar: a
+// //lint:allow comment without a reason is itself reported and suppresses
+// nothing, so every exception in the tree stays justified.
+package sim
+
+import "time"
+
+func missingReason() time.Time {
+	//lint:allow determinism
+	return time.Now() // want `wall-clock call time.Now`
+}

@@ -1,0 +1,28 @@
+// Package core is the reportsync-analyzer fixture: a Report struct whose
+// fields exercise every liveness state — merged and printed (clean), merged
+// but never printed, printed but never merged, orphaned, and a merged-only
+// field excused by annotation.
+package core
+
+import "fmt"
+
+// Report mirrors the real report type: every field must be populated by a
+// merge site and consumed by a print site.
+type Report struct {
+	Matches   int64
+	WireBytes int64 // want `merged but never consumed`
+	Stale     int64 // want `never populated`
+	Orphan    int64 // want `neither populated nor consumed`
+	//lint:allow reportsync fixture: counter reserved for a follow-up printer
+	Debug int64
+}
+
+func merge(r *Report, matches, wireBytes int64) {
+	r.Matches += matches
+	r.WireBytes += wireBytes
+	r.Debug++
+}
+
+func print(r *Report) string {
+	return fmt.Sprintf("matches %d stale %d", r.Matches, r.Stale)
+}

@@ -1,0 +1,52 @@
+// Package hashtable is the lockcheck-analyzer fixture: leaked locks,
+// returns on a held-lock path, and blocking calls under a lock must be
+// reported; the defer idiom and annotated exceptions must not.
+package hashtable
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type shardSet struct {
+	mu    sync.Mutex
+	count int64
+}
+
+func (s *shardSet) leak() {
+	s.mu.Lock() // want `no matching defer`
+	s.count++
+}
+
+func (s *shardSet) earlyReturn(v int64) {
+	s.mu.Lock()
+	if v < 0 {
+		return // want `return while s.mu may still be held`
+	}
+	s.count += v
+	s.mu.Unlock()
+}
+
+func (s *shardSet) readUnderLock(conn net.Conn, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := conn.Read(buf) // want `blocking call \(net.Conn\).Read`
+	if err == nil {
+		s.count++
+	}
+	return err
+}
+
+func (s *shardSet) disciplined(v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count += v
+}
+
+func (s *shardSet) stallForTest(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockcheck fixture: the stall under lock is the behaviour being tested
+	time.Sleep(d)
+}

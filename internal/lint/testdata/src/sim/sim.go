@@ -1,0 +1,70 @@
+// Package sim is the determinism-analyzer fixture. It mirrors the shapes
+// the real simulator uses: lines marked `// want` are violations the
+// analyzer must report, the //lint:allow line is an accepted suppression,
+// and everything else is the blessed idiom the analyzer must stay quiet
+// about.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type stats struct {
+	perNode map[int]int64
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}
+
+func capturedClock() func() time.Time {
+	return time.Now // want `captured as a value`
+}
+
+func allowedClock() time.Time {
+	//lint:allow determinism fixture: sanctioned diagnostic-only clock
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func emit(s *stats, send func(int)) {
+	for id := range s.perNode {
+		send(id) // want `function call`
+	}
+}
+
+func total(s *stats) int64 {
+	var sum int64
+	for _, v := range s.perNode {
+		sum += v // commutative integer accumulation: accepted
+	}
+	return sum
+}
+
+func anyNegative(s *stats) bool {
+	for _, v := range s.perNode {
+		if v < 0 {
+			return true // constant-only return (any-quantifier): accepted
+		}
+	}
+	return false
+}
+
+func sortedIDs(s *stats) []int {
+	ids := make([]int, 0, len(s.perNode))
+	for id := range s.perNode {
+		ids = append(ids, id) // key-collecting append: accepted
+	}
+	sort.Ints(ids)
+	return ids
+}

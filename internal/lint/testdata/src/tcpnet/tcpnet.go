@@ -1,0 +1,28 @@
+// Package tcpnet is the chansend-analyzer fixture: naked blocking sends
+// must be reported, select-guarded sends and annotated exceptions must not.
+package tcpnet
+
+type frame struct{ seq uint64 }
+
+func drainNaked(out chan frame, fs []frame) {
+	for _, f := range fs {
+		out <- f // want `blocking send on out outside select`
+	}
+}
+
+func drainGuarded(out chan frame, stop chan struct{}, fs []frame) {
+	for _, f := range fs {
+		select {
+		case out <- f:
+		case <-stop:
+			return
+		}
+	}
+}
+
+func handshake() chan frame {
+	out := make(chan frame, 1)
+	//lint:allow chansend fixture: freshly created buffered channel, first send cannot block
+	out <- frame{seq: 1}
+	return out
+}

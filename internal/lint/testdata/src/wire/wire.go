@@ -1,0 +1,67 @@
+// Package wire is the wireexhaustive-analyzer fixture: codec switches with
+// a missing arm, a missing default, or an untyped default must be reported;
+// the exhaustive switch with an ErrUnknownKind default must not.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownKind is the typed sentinel; its own definition is the one
+// legitimate non-wrapping constructor.
+var ErrUnknownKind = errors.New("unknown frame kind")
+
+type frameKind uint8
+
+const (
+	frameMsg frameKind = iota
+	frameAck
+	framePing
+)
+
+func encodeMissingArm(k frameKind) ([]byte, error) {
+	switch k { // want `missing an arm for framePing`
+	case frameMsg:
+		return []byte{0}, nil
+	case frameAck:
+		return []byte{1}, nil
+	default:
+		return nil, fmt.Errorf("encode unknown frame kind %d: %w", k, ErrUnknownKind)
+	}
+}
+
+func decodeNoDefault(k frameKind) error {
+	switch k { // want `no default arm`
+	case frameMsg, frameAck, framePing:
+		return nil
+	}
+	return nil
+}
+
+func decodeUntypedDefault(k frameKind) error {
+	switch k {
+	case frameMsg, frameAck, framePing:
+		return nil
+	default: // want `does not wrap ErrUnknownKind`
+		return fmt.Errorf("bad frame kind %d", k)
+	}
+}
+
+func decodeGood(k frameKind) error {
+	switch k {
+	case frameMsg, frameAck, framePing:
+		return nil
+	default:
+		return fmt.Errorf("decode unknown frame kind %d: %w", k, ErrUnknownKind)
+	}
+}
+
+func untypedUnknown(k frameKind) error {
+	return fmt.Errorf("unknown frame kind %d", k) // want `does not wrap the typed sentinel`
+}
+
+func legacyUnknown() error {
+	//lint:allow wireexhaustive fixture: legacy message kept for wire-log compatibility
+	return errors.New("unknown codec id in legacy header")
+}

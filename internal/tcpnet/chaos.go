@@ -292,6 +292,7 @@ func (c *chaosConn) Write(p []byte) (int, error) {
 		}
 		switch ev.kind {
 		case chaosStallWrite:
+			//lint:allow lockcheck the stall IS the injected fault; holding the write lock models a wedged peer socket
 			time.Sleep(ev.dur)
 		case chaosCorrupt:
 			n, err := c.writeTracked([]byte{rest[pre] ^ 0xFF})
@@ -388,6 +389,7 @@ func (c *chaosConn) Read(p []byte) (int, error) {
 				continue
 			}
 			if ev.kind == chaosStallRead {
+				//lint:allow lockcheck the stall IS the injected fault; holding the read lock models a wedged peer socket
 				time.Sleep(ev.dur)
 				continue
 			}
@@ -403,6 +405,7 @@ func (c *chaosConn) Read(p []byte) (int, error) {
 		if max <= 0 {
 			max = 1
 		}
+		//lint:allow lockcheck net.Conn.Read under the chaos lock is the faulty-transport model itself, not engine code
 		n, err := c.Conn.Read(p[:max])
 		c.rOff += int64(n)
 		return n, err

@@ -114,7 +114,7 @@ func appendFrame(dst []byte, f *frame, seq, ack uint64) ([]byte, error) {
 	case framePing, framePong, frameShutdown, frameAck:
 		// envelope and kind byte only
 	default:
-		return nil, fmt.Errorf("tcpnet: encode unknown frame kind %d", f.Kind)
+		return nil, fmt.Errorf("tcpnet: encode unknown frame kind %d: %w", f.Kind, wire.ErrUnknownKind)
 	}
 	body := dst[start+frameHeaderLen:]
 	if len(body) > maxFrameBytes {
@@ -326,7 +326,7 @@ func (r *wireReader) ReadFrame() (*frame, error) {
 	default:
 		kind := f.Kind
 		putFrame(f)
-		return nil, fmt.Errorf("tcpnet: unknown frame kind %d", kind)
+		return nil, fmt.Errorf("tcpnet: unknown frame kind %d: %w", kind, wire.ErrUnknownKind)
 	}
 	return f, nil
 }

@@ -20,4 +20,10 @@ var (
 	ErrBadLength = errors.New("bad frame length prefix")
 	// ErrChecksum marks a frame whose body failed CRC32C verification.
 	ErrChecksum = errors.New("frame checksum mismatch")
+	// ErrUnknownKind marks a frame kind or codec id outside the registered
+	// set: a version-skewed peer or corruption that survived the checksum.
+	// Every encode/decode switch default wraps this sentinel (enforced by
+	// the wireexhaustive analyzer) so transports can errors.Is it apart
+	// from a clean close.
+	ErrUnknownKind = errors.New("unknown frame kind")
 )

@@ -1,0 +1,19 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestUnknownCodecTyped pins the codec registry's unknown-id path to the
+// typed sentinel: transports must be able to errors.Is version skew apart
+// from every other decode failure.
+func TestUnknownCodecTyped(t *testing.T) {
+	_, err := DecodeMessage([]byte{199, 1, 2, 3})
+	if err == nil {
+		t.Fatal("unregistered codec id decoded without error")
+	}
+	if !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unregistered codec id: got %v, want ErrUnknownKind", err)
+	}
+}

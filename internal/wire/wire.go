@@ -117,7 +117,7 @@ func DecodeMessage(data []byte) (rt.Message, error) {
 	}
 	c := byID[id]
 	if c == nil {
-		return nil, fmt.Errorf("wire: unknown codec id %d", id)
+		return nil, fmt.Errorf("wire: unknown codec id %d: %w", id, ErrUnknownKind)
 	}
 	return c.decode(payload)
 }
