@@ -48,6 +48,7 @@ func main() {
 		recover_     = flag.Bool("recover", false, "survive worker deaths: re-stream lost state via the scheduler instead of aborting")
 		wireMode     = flag.String("wire", "binary", "message encoding on the wire: binary|gob")
 		cores        = flag.Int("cores", 1, "intra-node morsel parallelism per join node (0 = each worker's GOMAXPROCS)")
+		spillRung    = flag.Bool("spill", false, "evict partitions to worker-local disk instead of aborting when the cluster is exhausted (fourth degradation rung)")
 		chaos        = flag.String("chaos", "", "deterministic network fault injection on worker connections: a PRNG seed, or a schedule like corrupt@4096;tear@9000;dup@3;drop@20000;stallr@8000:50")
 		resume       = flag.Bool("resume", true, "recover broken worker connections by ack-based session resume (retransmit only unacked frames) before falling back to re-streaming")
 		resumeWindow = flag.Duration("resume-window", tcpnet.DefaultResumeWindow,
@@ -98,6 +99,7 @@ func main() {
 		MemoryBudget:  *budget,
 		ChunkTuples:   1000,
 		Cores:         *cores,
+		SpillEnabled:  *spillRung,
 		Build:         datagen.Spec{Dist: datagen.Uniform, Tuples: *rTuples, Seed: 1},
 		Probe:         datagen.Spec{Dist: datagen.Uniform, Tuples: *sTuples, Seed: 2},
 		MatchFraction: 1.0,
@@ -225,6 +227,10 @@ func main() {
 	if report.Cores > 1 {
 		fmt.Printf("ehjadist: %d cores/node, %d morsels, pool utilization %.0f%%\n",
 			report.Cores, report.PoolMorsels, 100*report.PoolUtilization)
+	}
+	if report.SpilledPartitions > 0 {
+		fmt.Printf("ehjadist: spilled %d partition(s) to disk (%d KB), degradation rung %d\n",
+			report.SpilledPartitions, report.SpillBytes>>10, report.DegradationRung)
 	}
 	if report.NodesLost > 0 {
 		fmt.Printf("ehjadist: lost %d node(s), recovered %d in %.3fs, re-streamed %d chunks (%d tuples)\n",

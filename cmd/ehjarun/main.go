@@ -104,6 +104,7 @@ func main() {
 		materialize = flag.Bool("materialize", false, "retain join output in memory; probe-phase expansion applies (paper footnote 1)")
 		faults      = flag.String("faults", "", "crash join nodes at virtual times: NODE@ATSEC[:DETECTSEC],... (e.g. 0@1.5,3@2:0.05)")
 		cores       = flag.Int("cores", 1, "intra-node morsel parallelism per join node (0 = GOMAXPROCS)")
+		spillRung   = flag.Bool("spill", false, "evict partitions to node-local disk instead of aborting when the cluster is exhausted (fourth degradation rung)")
 	)
 	flag.Parse()
 
@@ -150,6 +151,7 @@ func main() {
 		Cost:              cost,
 		OOCPolicy:         policy,
 		MaterializeOutput: *materialize,
+		SpillEnabled:      *spillRung,
 		Build: datagen.Spec{
 			Dist: dist, Mean: *mean, Sigma: *sigma,
 			Tuples: *rTuples, Seed: *seed, Layout: layout,
@@ -200,6 +202,10 @@ func main() {
 		if r.Degraded {
 			fmt.Println("recovery: DEGRADED — some losses were unrecoverable; result may be incomplete")
 		}
+	}
+	if r.SpilledPartitions > 0 {
+		fmt.Printf("spill rung: %d partition(s) evicted to disk (%d KB); degradation rung %d\n",
+			r.SpilledPartitions, r.SpillBytes>>10, r.DegradationRung)
 	}
 	if r.RecoveryRung > 0 {
 		fmt.Printf("recovery: rung %d engaged (1 = session resume, 2 = purge + re-stream, 3 = degraded); "+

@@ -26,6 +26,7 @@ func main() {
 	cores := flag.Int("cores", 0, "override intra-node morsel parallelism on this worker (0 = inherit coordinator config, -1 = this host's GOMAXPROCS)")
 	chaos := flag.String("chaos", "", "deterministic network fault injection on this connection: a PRNG seed, or a schedule like corrupt@4096;tear@9000;dup@3")
 	resume := flag.Bool("resume", true, "redial the coordinator and resume the session when the connection breaks")
+	noSpill := flag.Bool("no-spill", false, "decline spill orders on this worker even when the coordinator enables the spill rung (e.g. no usable local disk)")
 	flag.Parse()
 
 	switch *wireMode {
@@ -68,6 +69,11 @@ func main() {
 			cfg.Cores = runtime.GOMAXPROCS(0)
 		} else if *cores > 0 {
 			cfg.Cores = *cores
+		}
+		// A host without usable local disk opts out: its nodes answer
+		// spillOrder with an empty ack and the scheduler stops asking.
+		if *noSpill {
+			cfg.SpillEnabled = false
 		}
 		return core.NewJoinActor(cfg, id)
 	}

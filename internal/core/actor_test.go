@@ -293,7 +293,10 @@ func TestSchedulerSplitBarrier(t *testing.T) {
 	}
 }
 
-func TestSchedulerIgnoresMemFullOutsideBuild(t *testing.T) {
+func TestSchedulerNacksProbeMemFull(t *testing.T) {
+	// Without MaterializeOutput nothing can relieve probe-phase pressure,
+	// but silence would leave the reporter's checkOverflow armed and
+	// re-reporting on every chunk: the scheduler must NACK.
 	cfg := actorConfig(Replication)
 	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0))})
 	sched := newScheduler(cfg, table, []rt.NodeID{cfg.joinID(0)}, []rt.NodeID{cfg.joinID(1)})
@@ -301,7 +304,192 @@ func TestSchedulerIgnoresMemFullOutsideBuild(t *testing.T) {
 	sched.Receive(env, rt.NoNode, &startProbe{})
 	env.take()
 	sched.Receive(env, cfg.joinID(0), &memFull{Bytes: 2000})
-	if len(env.take()) != 0 {
-		t.Error("memFull acted on during probe phase")
+	one[*memFullNack](t, env.take(), cfg.joinID(0))
+}
+
+func TestSchedulerNacksProbeMemFullWithoutOwner(t *testing.T) {
+	// Probe expansion (MaterializeOutput) from a node that owns no table
+	// entry: there is no slot to hand over, and the reporter must be NACKed
+	// rather than ignored.
+	cfg := actorConfig(Replication)
+	cfg.MaterializeOutput = true
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0))})
+	sched := newScheduler(cfg, table,
+		[]rt.NodeID{cfg.joinID(0), cfg.joinID(1)}, []rt.NodeID{cfg.joinID(2)})
+	env := &scriptEnv{}
+	sched.Receive(env, rt.NoNode, &startProbe{})
+	env.take()
+	sched.Receive(env, cfg.joinID(1), &memFull{Bytes: 2000})
+	one[*memFullNack](t, env.take(), cfg.joinID(1))
+}
+
+func TestReshuffleMemFullStormStops(t *testing.T) {
+	// Regression for the message storm: an overflowing node re-arms its
+	// overflow check on every chunk, so an unanswered report outside the
+	// build phase used to storm the scheduler for the rest of the run.
+	// With the NACK in place the scheduler hears exactly one report.
+	cfg := actorConfig(Hybrid)
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	sched := newScheduler(cfg, table.Clone(),
+		[]rt.NodeID{cfg.joinID(0), cfg.joinID(1)}, nil)
+	j := newJoin(cfg, cfg.joinID(0))
+	env := &scriptEnv{}
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table.Clone()})
+	sched.Receive(env, rt.NoNode, &doReshuffle{})
+	env.take()
+
+	memFulls := 0
+	deliver := func() {
+		for {
+			sends := env.take()
+			if len(sends) == 0 {
+				return
+			}
+			for _, s := range sends {
+				switch m := s.msg.(type) {
+				case *memFull:
+					memFulls++
+					sched.Receive(env, cfg.joinID(0), m)
+				case *memFullNack:
+					j.Receive(env, rt.NoNode, m)
+				}
+			}
+		}
+	}
+	// Redistribution concentrates load far past the 10-tuple budget.
+	for i := 0; i < 10; i++ {
+		keys := make([]uint64, 4)
+		for k := range keys {
+			keys[k] = uint64(4*i + k + 1)
+		}
+		j.Receive(env, cfg.joinID(1), &moveTuples{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, keys...)})
+		deliver()
+	}
+	if memFulls != 1 {
+		t.Errorf("scheduler heard %d memFull reports, want exactly 1", memFulls)
+	}
+	if !j.noMoreNodes {
+		t.Error("node did not record the NACK")
+	}
+}
+
+func TestSchedulerSpillsWhenExhausted(t *testing.T) {
+	cfg := actorConfig(Replication)
+	cfg.SpillEnabled = true
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0))})
+	sched := newScheduler(cfg, table, []rt.NodeID{cfg.joinID(0)}, nil)
+	env := &scriptEnv{}
+	sched.Receive(env, cfg.joinID(0), &memFull{Bytes: 2000})
+	order := one[*spillOrder](t, env.take(), cfg.joinID(0))
+	if want := 2000 - cfg.MemoryBudget; order.TargetBytes != want {
+		t.Errorf("spill target %d, want the over-budget %d", order.TargetBytes, want)
+	}
+	sched.Receive(env, cfg.joinID(0), &spillAck{Partitions: 2, Bytes: 1000})
+	found := false
+	for _, e := range sched.events {
+		if e.Kind == "spill" && e.Node == cfg.joinID(0) && e.Bytes == 1000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spillAck not logged as a spill event: %v", sched.events)
+	}
+}
+
+func TestSchedulerSpillCostComparison(t *testing.T) {
+	run := func(cfg Config) []scriptSend {
+		table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+		sched := newScheduler(cfg, table,
+			[]rt.NodeID{cfg.joinID(0), cfg.joinID(1)}, []rt.NodeID{cfg.joinID(2)})
+		env := &scriptEnv{}
+		sched.Receive(env, cfg.joinID(0), &memFull{Bytes: 2000})
+		return env.take()
+	}
+	cfg := actorConfig(Replication)
+	cfg.SpillEnabled = true
+	// Testbed model: migrating to the recruit beats the disk's seeks.
+	one[*retire](t, run(cfg), cfg.joinID(0))
+	// A much slower interconnect flips the comparison.
+	slow := cfg
+	slow.Cost.NetBandwidthBps = 1e4
+	one[*spillOrder](t, run(slow), cfg.joinID(0))
+}
+
+func TestJoinActorSpillOrderEvictsAndAcks(t *testing.T) {
+	cfg := actorConfig(Replication)
+	cfg.SpillEnabled = true
+	j := newJoin(cfg, cfg.joinID(0))
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0))})
+	env := &scriptEnv{}
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table})
+	src := cfg.sourceID(0)
+	for i := 0; i < 3; i++ { // 12 tuples: 200 bytes over the 1000-byte budget
+		keys := make([]uint64, 4)
+		for k := range keys {
+			keys[k] = uint64(4*i+k+1) << 32
+		}
+		j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, keys...), Origin: src})
+	}
+	env.take()
+
+	j.Receive(env, rt.NoNode, &spillOrder{TargetBytes: 0})
+	ack := one[*spillAck](t, env.take(), cfg.schedulerID())
+	if ack.Partitions < 1 || ack.Bytes < 200 {
+		t.Errorf("spillAck{Partitions: %d, Bytes: %d}, want >=1 partition and >=200 bytes freed",
+			ack.Partitions, ack.Bytes)
+	}
+	if b := j.table.Bytes(); b > j.budget {
+		t.Errorf("table still %d bytes over a %d budget after spilling", b, j.budget)
+	}
+	if n := j.storedBuildTuples(); n != 12 {
+		t.Errorf("stored %d tuples after eviction, want all 12", n)
+	}
+
+	// A key routed to an evicted partition: builds stream to disk, probes
+	// divert, and the finish phase joins them.
+	spilledKey := uint64(0)
+	for k := uint64(1); k < 1<<20; k++ {
+		if j.spillRung.Spilled(j.spillRung.PartOf(k)) && j.rng.Contains(cfg.Space.PositionOf(k)) {
+			spilledKey = k
+			break
+		}
+	}
+	if spilledKey == 0 {
+		t.Fatal("no in-range key maps to an evicted partition")
+	}
+	before := j.table.Count()
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout, spilledKey), Origin: src})
+	if j.table.Count() != before {
+		t.Error("build tuple of an evicted partition landed in the live table")
+	}
+	if n := j.storedBuildTuples(); n != 13 {
+		t.Errorf("stored %d tuples, want 13", n)
+	}
+	j.Receive(env, src, &dataChunk{Chunk: chunkOf(tuple.RelS, cfg.Probe.Layout, spilledKey), Origin: src})
+	if j.totalMatches() != 0 {
+		t.Error("diverted probe matched before the finish phase")
+	}
+	env.take()
+	j.Receive(env, rt.NoNode, &finishOOC{})
+	if j.totalMatches() == 0 {
+		t.Error("finish phase produced no matches for the spilled pair")
+	}
+}
+
+func TestJoinActorSpillOptOut(t *testing.T) {
+	// A host that did not arm the rung (joind per-host override) declines
+	// the order and runs over budget, as a memFullNack would have it.
+	cfg := actorConfig(Replication)
+	j := newJoin(cfg, cfg.joinID(0))
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0))})
+	env := &scriptEnv{}
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table})
+	j.Receive(env, rt.NoNode, &spillOrder{TargetBytes: 500})
+	ack := one[*spillAck](t, env.take(), cfg.schedulerID())
+	if ack.Partitions != 0 || ack.Bytes != 0 {
+		t.Errorf("opt-out ack %+v, want empty", ack)
+	}
+	if !j.noMoreNodes {
+		t.Error("opt-out must stop further overflow reports")
 	}
 }

@@ -61,7 +61,10 @@ func Execute(cfg Config, eng rt.Engine) (*Report, error) {
 	if err := eng.Drain(); err != nil {
 		return nil, fmt.Errorf("core: probe phase: %w", err)
 	}
-	if cfg.Algorithm == OutOfCore {
+	if cfg.Algorithm == OutOfCore || cfg.SpillEnabled {
+		// The OOC baseline always finishes on disk; under SpillEnabled the
+		// expanding algorithms may have engaged the spill rung, whose
+		// evicted partitions join here the same way.
 		eng.Inject(cfg.schedulerID(), &finishOOC{})
 		if err := eng.Drain(); err != nil {
 			return nil, fmt.Errorf("core: out-of-core finish: %w", err)
@@ -193,6 +196,8 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		r.SpillWrittenBytes += j.SpillWrittenBytes
 		r.SpillReadBytes += j.SpillReadBytes
 		r.BNLPasses += j.BNLPasses
+		r.SpilledPartitions += j.SpilledPartitions
+		r.SpillBytes += j.SpillBytes
 		r.OutputBytes += j.OutputBytes
 		r.PurgedTuples += j.Purged
 		r.DroppedStaleTuples += j.DroppedStale
@@ -256,6 +261,20 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		r.RecoveryRung = 2
 	case r.Resumes > 0:
 		r.RecoveryRung = 1
+	}
+	// DegradationRung records the deepest rung of the expansion ladder the
+	// run engaged: probe-phase expansion (1), build-phase splits or
+	// replications (2), failure recovery by re-streaming (3), or spilling
+	// partitions to local disk (4).
+	switch {
+	case r.SpilledPartitions > 0:
+		r.DegradationRung = 4
+	case r.RecoveryRung > 0:
+		r.DegradationRung = 3
+	case r.Splits > 0 || r.Replications > 0:
+		r.DegradationRung = 2
+	case r.ProbeExpansions > 0:
+		r.DegradationRung = 1
 	}
 	return r, nil
 }

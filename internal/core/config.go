@@ -115,6 +115,15 @@ type Config struct {
 	// tests); the out-of-core baseline ignores it (its state lives in
 	// the spill manager, not the table).
 	Cores int
+	// SpillEnabled arms the degradation ladder's fourth rung for the
+	// expanding algorithms: when the scheduler cannot (or, per the cost
+	// model, should not) recruit for an overflow, the full node evicts
+	// hash partitions to local disk and keeps building instead of running
+	// over budget, and the run completes without ExhaustedResources. The
+	// out-of-core baseline ignores it (it is already fully spilling). Not
+	// supported together with MaterializeOutput: materialised output and
+	// probe-phase table clones cannot carry spilled state.
+	SpillEnabled bool
 	// MaterializeOutput makes join nodes retain their matches in memory
 	// (as a downstream in-memory operator would require) instead of
 	// streaming them out. Accumulated output then competes with the hash
@@ -216,6 +225,12 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.MaterializeOutput && c.Algorithm == OutOfCore {
 		return c, fmt.Errorf("core: MaterializeOutput requires an expanding algorithm")
+	}
+	if c.Algorithm == OutOfCore {
+		c.SpillEnabled = false // the baseline is already fully spilling
+	}
+	if c.SpillEnabled && c.MaterializeOutput {
+		return c, fmt.Errorf("core: SpillEnabled is not supported with MaterializeOutput")
 	}
 	return c, nil
 }

@@ -108,6 +108,49 @@ func TestShardedRecoveryMatchesFaultFree(t *testing.T) {
 	}
 }
 
+// TestSpillRecoveryMatchesFaultFree: losing a join node mid-build on an
+// undersized cluster with the spill rung armed must still recover exactly.
+// The victim's spilled partitions died with it and are re-streamed from the
+// sources; surviving rungs purge their on-disk copies of the rebuilt
+// ranges so nothing is double-counted at the finish phase.
+func TestSpillRecoveryMatchesFaultFree(t *testing.T) {
+	for _, alg := range []Algorithm{Split, Replication, Hybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := testConfig(alg)
+			cfg.MaxNodes = 3
+			cfg.SpillEnabled = true
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			if want.SpilledPartitions == 0 {
+				t.Fatal("scenario did not engage the spill rung")
+			}
+			plan := faultAt(t, cfg, 0, 0.6)
+			got, err := RunWithFaults(cfg, plan)
+			if err != nil {
+				t.Fatalf("faulted run: %v", err)
+			}
+			if got.Degraded {
+				t.Fatalf("death during spill should recover exactly, got degraded (report: %v)", got)
+			}
+			if got.Matches != want.Matches || got.Checksum != want.Checksum {
+				t.Errorf("result diverged: matches %d checksum %#x, want %d / %#x",
+					got.Matches, got.Checksum, want.Matches, want.Checksum)
+			}
+			if got.NodesLost != 1 {
+				t.Errorf("NodesLost = %d, want 1", got.NodesLost)
+			}
+			if got.SpilledPartitions == 0 {
+				t.Error("faulted run on a shrunken cluster did not spill")
+			}
+			if got.ExhaustedResources {
+				t.Error("spill run reports exhaustion")
+			}
+		})
+	}
+}
+
 // TestRecoveryDeterministic: the same fault plan must reproduce the same
 // run, timing included — the whole point of virtual-time fault injection.
 func TestRecoveryDeterministic(t *testing.T) {

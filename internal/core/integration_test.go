@@ -164,6 +164,46 @@ func TestResourceExhaustion(t *testing.T) {
 	}
 }
 
+func TestSpillRungCompletesExhaustedScenarios(t *testing.T) {
+	// The TestResourceExhaustion workload with the spill rung armed: every
+	// previously exhausted run must complete within budget, producing the
+	// same tuples as the out-of-core baseline on the same cluster.
+	base := testConfig(OutOfCore)
+	base.MaxNodes = 3
+	ooc, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Split, Replication, Hybrid} {
+		cfg := testConfig(alg)
+		cfg.MaxNodes = 3
+		cfg.SpillEnabled = true
+		t.Run(alg.String(), func(t *testing.T) {
+			r := runAndVerify(t, cfg)
+			if r.ExhaustedResources {
+				t.Error("spill rung armed but run still reports exhaustion")
+			}
+			if r.Matches != ooc.Matches || r.Checksum != ooc.Checksum {
+				t.Errorf("spill output differs from OOC baseline: matches %d/%d checksum %#x/%#x",
+					r.Matches, ooc.Matches, r.Checksum, ooc.Checksum)
+			}
+			if r.SpilledPartitions == 0 || r.SpillBytes == 0 {
+				t.Errorf("no spill activity recorded: partitions=%d bytes=%d",
+					r.SpilledPartitions, r.SpillBytes)
+			}
+			if r.SpillReadBytes == 0 {
+				t.Error("finish phase read nothing back from disk")
+			}
+			if r.DegradationRung != 4 {
+				t.Errorf("degradation rung %d, want 4", r.DegradationRung)
+			}
+			if r.FinalNodes != 3 {
+				t.Errorf("final nodes = %d, want 3", r.FinalNodes)
+			}
+		})
+	}
+}
+
 func TestDeterministicAcrossRuns(t *testing.T) {
 	for _, alg := range Algorithms() {
 		a, err := Run(testConfig(alg))

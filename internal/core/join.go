@@ -21,6 +21,7 @@ type nodeTable interface {
 	Bytes() int64
 	CountsInRange(hashfn.Range) []int64
 	ExtractRange(hashfn.Range) []tuple.Tuple
+	ExtractMatching(func(tuple.Tuple) bool) []tuple.Tuple
 	ForEach(func(tuple.Tuple))
 }
 
@@ -42,6 +43,10 @@ type joinActor struct {
 	sharded *hashtable.Sharded
 	owned   []tuple.Tuple  // insertOrForward's in-range scratch
 	spill   *spill.Manager // out-of-core only
+	// spillRung holds the partitions this node evicted to local disk after
+	// a spillOrder — the expanding algorithms' last degradation rung. Nil
+	// until the first order arrives; mutually exclusive with spill (OOC).
+	spillRung *spill.Manager
 
 	// Overflow-reporting state.
 	lastReport  int64 // table bytes when memFull was last sent
@@ -151,6 +156,8 @@ func (j *joinActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 		j.onMoveTuples(env, msg.Chunk, msg.Version)
 	case *splitOrder:
 		j.onSplit(env, msg)
+	case *spillOrder:
+		j.onSpillOrder(env, msg)
 	case *purgeRange:
 		j.onPurgeRange(env, msg)
 	case *retire:
@@ -170,6 +177,9 @@ func (j *joinActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 	case *finishOOC:
 		if j.spill != nil {
 			j.spill.Finish(env)
+		}
+		if j.spillRung != nil {
+			j.spillRung.Finish(env)
 		}
 	case *setForward:
 		j.fw = msg
@@ -250,6 +260,13 @@ func (j *joinActor) snapshot() *joinStats {
 		s.SpillReadBytes = j.spill.SpillReadBytes
 		s.BNLPasses = j.spill.BNLPasses
 	}
+	if j.spillRung != nil { // mutually exclusive with j.spill
+		s.SpillWrittenBytes = j.spillRung.SpillWrittenBytes
+		s.SpillReadBytes = j.spillRung.SpillReadBytes
+		s.BNLPasses = j.spillRung.BNLPasses
+		s.SpilledPartitions = j.spillRung.SpilledPartitions()
+		s.SpillBytes = j.spillRung.SpillWrittenBytes
+	}
 	// Spare nodes that never activated have nothing to report; keeping
 	// their stats message shard-free makes the parallel run's wire cost
 	// exactly serial + one histogram per participating node.
@@ -276,6 +293,9 @@ func (j *joinActor) onPurgeRange(env rt.Env, msg *purgeRange) {
 	dropped := j.table.ExtractRange(msg.Range)
 	env.ChargeCPU(j.cfg.Cost.MoveNs * int64(len(dropped)))
 	j.purged += int64(len(dropped))
+	if j.spillRung != nil {
+		j.purged += j.spillRung.PurgeRange(msg.Range)
+	}
 	j.updateRoute(msg.Table)
 	if msg.NewOwner == j.id {
 		j.active = true
@@ -327,7 +347,7 @@ func (j *joinActor) onMoveTuples(env rt.Env, c *tuple.Chunk, v uint64) {
 		// was in flight; re-forward any strays.
 		j.insertOrForward(env, c, v)
 	} else {
-		j.insertBatch(env, c.Tuples)
+		j.insertOwned(env, c.Tuples)
 	}
 	j.checkOverflow(env, c.LogicalBytes())
 }
@@ -373,7 +393,7 @@ func (j *joinActor) onBuildChunk(env rt.Env, c *tuple.Chunk, v uint64) {
 	if j.cfg.Algorithm == Split {
 		j.insertOrForward(env, c, v)
 	} else {
-		j.insertBatch(env, c.Tuples)
+		j.insertOwned(env, c.Tuples)
 	}
 	j.checkOverflow(env, c.LogicalBytes())
 }
@@ -455,7 +475,7 @@ func (j *joinActor) insertOrForward(env rt.Env, c *tuple.Chunk, v uint64) {
 		}
 		owned = append(owned, t)
 	}
-	j.insertBatch(env, owned)
+	j.insertOwned(env, owned)
 	j.owned = owned[:0]
 	for _, dest := range sortedNodeIDs(strays) {
 		if part := strays[dest].Flush(); part != nil {
@@ -488,12 +508,122 @@ func (j *joinActor) checkOverflow(env rt.Env, grewBy int) {
 	env.Send(j.cfg.schedulerID(), &memFull{Bytes: b})
 }
 
+// onSpillOrder engages the spill rung — the degradation ladder's last
+// rung: evict whole hash partitions to local disk until the table fits the
+// budget again (or the order's target is met, whichever is larger), then
+// keep building. Tuples of evicted partitions stream to disk from here on
+// and are joined in the finish phase.
+func (j *joinActor) onSpillOrder(env rt.Env, msg *spillOrder) {
+	env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+	if !j.cfg.SpillEnabled {
+		// This host opted out (joind -spill=off): decline and run over
+		// budget, exactly as a memFullNack would have it.
+		j.noMoreNodes = true
+		env.Send(j.cfg.schedulerID(), &spillAck{})
+		return
+	}
+	if j.spillRung == nil {
+		j.spillRung = spill.NewRung(j.cfg.Space, j.cfg.Build.Layout, j.cfg.Probe.Layout,
+			j.budget, j.cfg.SpillPartitions, j.cfg.Cost)
+	}
+	target := j.table.Bytes() - j.budget
+	if msg.TargetBytes > target {
+		target = msg.TargetBytes
+	}
+	freed := j.evictToRung(env, target)
+	if j.table.Bytes() <= j.budget {
+		j.lastReport = 0 // relieved; future overflows report afresh
+	}
+	env.Send(j.cfg.schedulerID(), &spillAck{
+		Partitions: j.spillRung.SpilledPartitions(),
+		Bytes:      freed,
+	})
+}
+
+// evictToRung moves whole spill partitions — largest first, the
+// highest-relief-per-seek order — from the live table to the rung until at
+// least target bytes are freed. Returns the bytes freed.
+func (j *joinActor) evictToRung(env rt.Env, target int64) int64 {
+	if target <= 0 {
+		return 0
+	}
+	counts := make([]int64, j.spillRung.Parts())
+	j.table.ForEach(func(t tuple.Tuple) {
+		counts[j.spillRung.PartOf(t.Key)]++
+	})
+	size := int64(j.cfg.Build.Layout.LogicalSize())
+	var freed int64
+	for freed < target {
+		best, bestN := -1, int64(0)
+		for p, n := range counts {
+			if n > bestN && !j.spillRung.Spilled(p) {
+				best, bestN = p, n
+			}
+		}
+		if best < 0 {
+			break // every populated partition is already on disk
+		}
+		moved := j.table.ExtractMatching(func(t tuple.Tuple) bool {
+			return j.spillRung.PartOf(t.Key) == best
+		})
+		j.spillRung.EvictBuild(env, best, moved)
+		counts[best] = 0
+		freed += int64(len(moved)) * size
+	}
+	return freed
+}
+
+// insertOwned stores owned build tuples: with the spill rung engaged,
+// tuples of evicted partitions stream to disk; everything else goes into
+// the live table.
+func (j *joinActor) insertOwned(env rt.Env, ts []tuple.Tuple) {
+	if j.spillRung == nil {
+		j.insertBatch(env, ts)
+		return
+	}
+	kept := make([]tuple.Tuple, 0, len(ts))
+	for _, t := range ts {
+		if j.spillRung.Spilled(j.spillRung.PartOf(t.Key)) {
+			j.spillRung.SpillBuild(env, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	j.insertBatch(env, kept)
+}
+
+// divertSpilledProbes streams probe tuples of evicted partitions to the
+// spill rung and returns the chunk of tuples that still probe the live
+// table (nil when nothing remains).
+func (j *joinActor) divertSpilledProbes(env rt.Env, c *tuple.Chunk) *tuple.Chunk {
+	kept := make([]tuple.Tuple, 0, len(c.Tuples))
+	for _, t := range c.Tuples {
+		if j.spillRung.Spilled(j.spillRung.PartOf(t.Key)) {
+			j.spillRung.SpillProbe(env, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == len(c.Tuples) {
+		return c
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return &tuple.Chunk{Rel: c.Rel, Layout: c.Layout, Tuples: kept}
+}
+
 // onSplit executes a split order: keep the lower half, migrate the upper
 // half's tuples to the recruited node, release the scheduler's barrier.
 func (j *joinActor) onSplit(env rt.Env, msg *splitOrder) {
 	j.rng = msg.Lower
 	j.updateRoute(msg.Table)
 	moved := j.table.ExtractRange(msg.Upper)
+	if j.spillRung != nil {
+		// Spilled tuples in the migrating range must travel too — probes
+		// for that range route to the new node from now on.
+		moved = append(moved, j.spillRung.ExtractRange(env, msg.Upper)...)
+	}
 	env.ChargeCPU(j.cfg.Cost.MoveNs * int64(len(moved)))
 	j.movedOut += int64(len(moved))
 	j.shipTuples(env, msg.NewNode, moved, j.cfg.Build.Layout)
@@ -546,6 +676,9 @@ func (j *joinActor) onReshuffle(env rt.Env, msg *reshuffleAssign) {
 			continue
 		}
 		moved := j.table.ExtractRange(e.Range)
+		if j.spillRung != nil {
+			moved = append(moved, j.spillRung.ExtractRange(env, e.Range)...)
+		}
 		if len(moved) == 0 {
 			continue
 		}
@@ -569,6 +702,11 @@ func (j *joinActor) onProbeChunk(env rt.Env, c *tuple.Chunk) {
 			j.spill.Probe(env, t)
 		}
 		return
+	}
+	if j.spillRung != nil {
+		if c = j.divertSpilledProbes(env, c); c == nil {
+			return
+		}
 	}
 	if j.fw != nil {
 		j.probeAndForward(env, c)
@@ -672,20 +810,32 @@ func (j *joinActor) storedBuildTuples() int64 {
 	if j.spill != nil {
 		return j.spill.StoredBuildTuples()
 	}
-	return j.table.Count()
+	n := j.table.Count()
+	if j.spillRung != nil {
+		n += j.spillRung.StoredBuildTuples()
+	}
+	return n
 }
 
 // totalMatches merges in-core and out-of-core match counts.
 func (j *joinActor) totalMatches() uint64 {
+	m := j.matches
 	if j.spill != nil {
-		return j.matches + j.spill.Matches()
+		m += j.spill.Matches()
 	}
-	return j.matches
+	if j.spillRung != nil {
+		m += j.spillRung.Matches()
+	}
+	return m
 }
 
 func (j *joinActor) totalChecksum() uint64 {
+	x := j.checksum
 	if j.spill != nil {
-		return j.checksum ^ j.spill.Checksum()
+		x ^= j.spill.Checksum()
 	}
-	return j.checksum
+	if j.spillRung != nil {
+		x ^= j.spillRung.Checksum()
+	}
+	return x
 }

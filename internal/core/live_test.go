@@ -40,6 +40,47 @@ func TestLiveEngineMatchesSimulator(t *testing.T) {
 	}
 }
 
+// TestLiveEngineSpillMatchesSimulator runs the undersized spill scenario on
+// the goroutine engine: eviction orders, spilled build/probe streams, and
+// the disk-side finish must produce the simulator's exact result under real
+// concurrency too.
+func TestLiveEngineSpillMatchesSimulator(t *testing.T) {
+	for _, alg := range []Algorithm{Split, Replication, Hybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := testConfig(alg)
+			cfg.MaxNodes = 3
+			cfg.SpillEnabled = true
+			wantMatches, wantChecksum := referenceJoin(t, cfg)
+
+			simRep, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			if simRep.SpilledPartitions == 0 {
+				t.Fatal("scenario did not engage the spill rung")
+			}
+			eng := live.New()
+			defer eng.Close()
+			liveRep, err := Execute(cfg, eng)
+			if err != nil {
+				t.Fatalf("live: %v", err)
+			}
+			if liveRep.Matches != wantMatches || liveRep.Checksum != wantChecksum {
+				t.Errorf("live result %d/%#x, want %d/%#x",
+					liveRep.Matches, liveRep.Checksum, wantMatches, wantChecksum)
+			}
+			if liveRep.Matches != simRep.Matches || liveRep.Checksum != simRep.Checksum {
+				t.Errorf("live and sim disagree: %d/%#x vs %d/%#x",
+					liveRep.Matches, liveRep.Checksum, simRep.Matches, simRep.Checksum)
+			}
+			if liveRep.SpilledPartitions == 0 || liveRep.ExhaustedResources {
+				t.Errorf("live spill state wrong: partitions=%d exhausted=%v",
+					liveRep.SpilledPartitions, liveRep.ExhaustedResources)
+			}
+		})
+	}
+}
+
 // TestLiveEngineSkewed exercises the live engine under the extreme-skew
 // workload, where replication chains and reshuffling are deepest.
 func TestLiveEngineSkewed(t *testing.T) {

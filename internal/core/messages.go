@@ -71,6 +71,28 @@ type memFullNack struct{}
 
 func (*memFullNack) WireSize() int { return ctrlBytes }
 
+// spillOrder tells an overflowed node to engage the spill rung — the
+// degradation ladder's fourth and last rung: evict hash partitions to local
+// disk until at least TargetBytes are freed (0 means "back under your own
+// budget") and keep building. Sent instead of a memFullNack when
+// Config.SpillEnabled and no recruit is available or worthwhile.
+type spillOrder struct {
+	TargetBytes int64
+}
+
+func (*spillOrder) WireSize() int { return ctrlBytes }
+
+// spillAck reports a completed eviction back to the scheduler: how many
+// partitions the node has spilled so far and how many bytes this order
+// freed. A node configured without spill support declines with a zero ack
+// and runs over budget, as a memFullNack would have it.
+type spillAck struct {
+	Partitions int64
+	Bytes      int64
+}
+
+func (*spillAck) WireSize() int { return ctrlBytes }
+
 // joinInit instantiates a join process on a recruited node with its hash
 // range (split upper half, or the replicated range). AwaitClone marks a
 // probe-phase recruitment (§4 footnote 1): the node must buffer incoming
@@ -293,6 +315,8 @@ type joinStats struct {
 	SpillWrittenBytes int64
 	SpillReadBytes    int64
 	BNLPasses         int64
+	SpilledPartitions int64 // partitions evicted by the spill rung
+	SpillBytes        int64 // bytes the spill rung wrote to local disk
 	Purged            int64 // tuples discarded by failure-recovery purges
 	DroppedStale      int64 // stale tuples discarded at re-stream barriers
 

@@ -18,6 +18,8 @@ const (
 	wireChunkAck    = 2
 	wireMoveTuples  = 3
 	wireCloneTuples = 4
+	wireSpillOrder  = 5
+	wireSpillAck    = 6
 )
 
 func init() {
@@ -96,5 +98,38 @@ func init() {
 				return nil, fmt.Errorf("core: cloneTuples has %d trailing bytes", len(data)-n)
 			}
 			return &cloneTuples{Chunk: c}, nil
+		})
+
+	// spillOrder / spillAck are control messages, not hot-path traffic;
+	// they get fixed-layout codecs anyway so the spill handshake's wire
+	// format is pinned (and fuzzable) independently of gob's encoding.
+
+	// spillOrder: [8B target bytes]
+	wire.Register(wireSpillOrder, &spillOrder{},
+		func(buf []byte, m rt.Message) []byte {
+			return binary.LittleEndian.AppendUint64(buf, uint64(m.(*spillOrder).TargetBytes))
+		},
+		func(data []byte) (rt.Message, error) {
+			if len(data) != 8 {
+				return nil, fmt.Errorf("core: spillOrder payload has %d bytes, want 8", len(data))
+			}
+			return &spillOrder{TargetBytes: int64(binary.LittleEndian.Uint64(data))}, nil
+		})
+
+	// spillAck: [8B partitions][8B bytes]
+	wire.Register(wireSpillAck, &spillAck{},
+		func(buf []byte, m rt.Message) []byte {
+			a := m.(*spillAck)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(a.Partitions))
+			return binary.LittleEndian.AppendUint64(buf, uint64(a.Bytes))
+		},
+		func(data []byte) (rt.Message, error) {
+			if len(data) != 16 {
+				return nil, fmt.Errorf("core: spillAck payload has %d bytes, want 16", len(data))
+			}
+			return &spillAck{
+				Partitions: int64(binary.LittleEndian.Uint64(data)),
+				Bytes:      int64(binary.LittleEndian.Uint64(data[8:])),
+			}, nil
 		})
 }

@@ -13,7 +13,7 @@ import (
 // The differential oracle asserts that a sharded run (Cores > 1, under
 // SerialParallelCharge) produces exactly the serial run's sequence.
 type ExpansionEvent struct {
-	Kind  string       // "memfull", "split", "replicate", "probe-expand", "reshuffle", "recover"
+	Kind  string       // "memfull", "split", "replicate", "probe-expand", "reshuffle", "recover", "spill"
 	Node  rt.NodeID    // reporting / victim node
 	Peer  rt.NodeID    // recruited or new-owner node, if any
 	Range hashfn.Range // affected routing range (zero for memfull)
@@ -81,6 +81,16 @@ type Report struct {
 	SpillWrittenBytes int64
 	SpillReadBytes    int64
 	BNLPasses         int64
+
+	// Spill-rung activity (SpillEnabled runs only): partitions the
+	// expanding algorithms evicted to local disk as the degradation
+	// ladder's fourth rung, and the build+probe bytes written for them.
+	SpilledPartitions int64
+	SpillBytes        int64
+	// DegradationRung is the deepest degradation rung the run engaged:
+	// 0 none, 1 probe-phase expansion, 2 build-phase split/replication,
+	// 3 failure recovery by re-streaming, 4 spill to local disk.
+	DegradationRung int
 
 	// Failure-recovery activity (fault-injected or real failures).
 	NodesLost      int64 // join nodes declared dead during the run
@@ -161,6 +171,13 @@ func (r *Report) String() string {
 	}
 	if r.ExhaustedResources {
 		s += " EXHAUSTED"
+	}
+	if r.SpilledPartitions > 0 {
+		s += fmt.Sprintf(" spilled %d partitions (%d KB)",
+			r.SpilledPartitions, r.SpillBytes>>10)
+	}
+	if r.DegradationRung > 0 {
+		s += fmt.Sprintf(" degradation rung %d", r.DegradationRung)
 	}
 	if r.NodesLost > 0 {
 		s += fmt.Sprintf(" lost %d recovered %d recovery %.3fs re-streamed %d chunks (%d tuples)",

@@ -129,7 +129,9 @@ func (sc *schedActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 	switch msg := m.(type) {
 	case *memFull:
 		sc.events = append(sc.events, ExpansionEvent{Kind: "memfull", Node: from, Peer: rt.NoNode, Bytes: msg.Bytes})
-		sc.onMemFull(env, from)
+		sc.onMemFull(env, from, msg.Bytes)
+	case *spillAck:
+		sc.events = append(sc.events, ExpansionEvent{Kind: "spill", Node: from, Peer: rt.NoNode, Bytes: msg.Bytes})
 	case *splitDone:
 		sc.splitMoved += msg.MovedTuples
 		sc.pendingSplit = pendingSplitState{}
@@ -159,8 +161,9 @@ func (sc *schedActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 			env.Send(sc.cfg.sourceID(i), &startProbe{Table: sc.table.Clone()})
 		}
 	case *finishOOC:
-		// Injected by the orchestrator: run the OOC nodes' local
-		// out-of-core join phases.
+		// Injected by the orchestrator: run the local out-of-core join
+		// phases — every node on the OOC baseline, the nodes that engaged
+		// the spill rung on an expanding algorithm.
 		for _, n := range sc.working {
 			env.Send(n, &finishOOC{})
 		}
@@ -183,24 +186,48 @@ func (sc *schedActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 }
 
 // onMemFull handles a memory-overflow report according to the algorithm
-// and phase.
-func (sc *schedActor) onMemFull(env rt.Env, node rt.NodeID) {
+// and phase. Every report gets an answer — an expansion, a spillOrder, or
+// a memFullNack: an unanswered report leaves the node's checkOverflow
+// armed, and it would re-report on every subsequent chunk, storming the
+// scheduler for the rest of the run.
+func (sc *schedActor) onMemFull(env rt.Env, node rt.NodeID, reported int64) {
 	if sc.cfg.Algorithm == OutOfCore {
 		return
 	}
 	if sc.phase == phaseProbe {
 		if sc.cfg.MaterializeOutput {
 			sc.probeExpand(env, node)
+		} else {
+			// Without materialised output nothing can relieve probe-phase
+			// pressure; NACK so the node stops re-reporting per chunk.
+			env.Send(node, &memFullNack{})
 		}
 		return
 	}
 	if sc.phase != phaseBuild {
+		// Reshuffle-phase pressure (redistribution can concentrate load).
+		// No recruitment protocol runs here, but the spill rung still can:
+		// the node's reshuffle extraction reads evicted tuples back from
+		// its rung, so spilling mid-reshuffle stays correct.
+		if sc.cfg.SpillEnabled {
+			sc.sendSpillOrder(env, node, reported)
+		} else {
+			env.Send(node, &memFullNack{})
+		}
 		return
 	}
 	switch sc.cfg.Algorithm {
 	case Replication, Hybrid:
+		if sc.spillInsteadOfRecruit(node, reported) {
+			sc.sendSpillOrder(env, node, reported)
+			return
+		}
 		sc.replicate(env, node)
 	case Split:
+		if sc.spillInsteadOfRecruit(node, reported) {
+			sc.sendSpillOrder(env, node, reported)
+			return
+		}
 		if sc.exhausted {
 			env.Send(node, &memFullNack{})
 			return
@@ -211,6 +238,46 @@ func (sc *schedActor) onMemFull(env rt.Env, node rt.NodeID) {
 		}
 		sc.issueSplits(env)
 	}
+}
+
+// spillInsteadOfRecruit decides the build-phase rung for an overflow
+// report: spill when the rung is armed and either the cluster is exhausted
+// or the cost model prices the eviction's disk traffic below migrating the
+// same bytes to a recruit.
+func (sc *schedActor) spillInsteadOfRecruit(node rt.NodeID, reported int64) bool {
+	if !sc.cfg.SpillEnabled {
+		return false
+	}
+	if sc.exhausted || len(sc.potential) == 0 {
+		return true
+	}
+	tupleSize := int64(sc.cfg.Build.Layout.LogicalSize())
+	over := reported - sc.cfg.budgetOf(node)
+	if over < tupleSize {
+		over = tupleSize
+	}
+	cm := sc.cfg.Cost
+	// Spilling pays a buffered write now plus, at finish, re-reads of the
+	// evicted build tuples and their probe stream (two seeks to open the
+	// partition files). Recruiting ships the same bytes through one network
+	// port and re-stages them (extract + re-insert) at the new node. Under
+	// the paper's testbed model the disk always loses, so the default
+	// behaviour is unchanged; a slower interconnect flips the comparison.
+	spillNs := 2*cm.DiskSeekNs + cm.DiskNs(over, false) + 2*cm.DiskNs(over, true)
+	recruitNs := cm.NetTransferNs(int(over)) + (cm.MoveNs+cm.BuildNs)*(over/tupleSize)
+	return spillNs < recruitNs
+}
+
+// sendSpillOrder tells an overflowed node to engage the spill rung.
+// reported is the node's reported table size; 0 means unknown, in which
+// case the node frees its own over-budget amount.
+func (sc *schedActor) sendSpillOrder(env rt.Env, node rt.NodeID, reported int64) {
+	var target int64
+	if over := reported - sc.cfg.budgetOf(node); reported > 0 && over > 0 {
+		target = over
+	}
+	env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs)
+	env.Send(node, &spillOrder{TargetBytes: target})
 }
 
 // pickPotential recruits the potential node with the largest available
@@ -242,6 +309,10 @@ func (sc *schedActor) probeExpand(env rt.Env, fullNode rt.NodeID) {
 	}
 	idx, slot := sc.findOwnerSlot(fullNode)
 	if idx < 0 {
+		// Not an owner of any entry (e.g. already superseded in the
+		// routing): there is no slot to hand over, and silence would leave
+		// the node re-reporting on every chunk.
+		env.Send(fullNode, &memFullNack{})
 		return
 	}
 	w, ok := sc.pickPotential()
@@ -344,10 +415,17 @@ func (sc *schedActor) issueSplits(env rt.Env) {
 	}
 }
 
+// nackQueue fails every queued overflow report: the split protocol cannot
+// serve them (no splittable entry, or no recruit). With the spill rung
+// armed the nodes spill instead of running over budget.
 func (sc *schedActor) nackQueue(env rt.Env) {
 	for _, n := range sc.overflowQueue {
 		delete(sc.queuedNode, n)
-		env.Send(n, &memFullNack{})
+		if sc.cfg.SpillEnabled {
+			sc.sendSpillOrder(env, n, 0)
+		} else {
+			env.Send(n, &memFullNack{})
+		}
 	}
 	sc.overflowQueue = nil
 }

@@ -18,6 +18,8 @@ func init() {
 	gob.Register(&sourcePhaseDone{})
 	gob.Register(&memFull{})
 	gob.Register(&memFullNack{})
+	gob.Register(&spillOrder{})
+	gob.Register(&spillAck{})
 	gob.Register(&joinInit{})
 	gob.Register(&splitOrder{})
 	gob.Register(&splitDone{})

@@ -9,6 +9,7 @@ import (
 	"ehjoin/internal/hashfn"
 	rt "ehjoin/internal/runtime"
 	"ehjoin/internal/tuple"
+	"ehjoin/internal/wire"
 )
 
 func TestConfigRoundTrip(t *testing.T) {
@@ -54,6 +55,8 @@ func TestMessageGobRoundTrip(t *testing.T) {
 		&sourcePhaseDone{Rel: tuple.RelR, Chunks: 7},
 		&memFull{Bytes: 99},
 		&memFullNack{},
+		&spillOrder{TargetBytes: 4096},
+		&spillAck{Partitions: 3, Bytes: 2048},
 		&joinInit{Range: hashfn.Range{Lo: 1, Hi: 9}, Table: table},
 		&splitOrder{Lower: hashfn.Range{Lo: 1, Hi: 5}, Upper: hashfn.Range{Lo: 5, Hi: 9}, NewNode: 4, Table: table},
 		&splitDone{MovedTuples: 11},
@@ -102,6 +105,39 @@ func TestMessageGobRoundTrip(t *testing.T) {
 	dc := back.M.(*dataChunk)
 	if len(dc.Chunk.Tuples) != 2 || dc.Chunk.Tuples[1].Key != 4 || dc.Origin != 3 {
 		t.Errorf("chunk payload corrupted: %+v", dc)
+	}
+}
+
+// TestSpillMessagesBinaryRoundTrip pins the spill handshake's fixed-layout
+// binary codecs (wire ids 5 and 6) independently of gob.
+func TestSpillMessagesBinaryRoundTrip(t *testing.T) {
+	msgs := []rt.Message{
+		&spillOrder{TargetBytes: 0},
+		&spillOrder{TargetBytes: 123456789},
+		&spillAck{},
+		&spillAck{Partitions: 7, Bytes: 1 << 30},
+	}
+	for _, m := range msgs {
+		frame, err := wire.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		back, err := wire.DecodeMessage(frame)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if !reflect.DeepEqual(back, m) {
+			t.Errorf("round trip changed %T: got %+v, want %+v", m, back, m)
+		}
+	}
+	// Truncated and oversized payloads must be rejected, not misread.
+	for _, bad := range [][]byte{
+		{5}, {5, 1, 2, 3}, {5, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{6}, {6, 1, 2, 3, 4, 5, 6, 7, 8},
+	} {
+		if _, err := wire.DecodeMessage(bad); err == nil {
+			t.Errorf("malformed frame % x decoded", bad)
+		}
 	}
 }
 

@@ -95,6 +95,16 @@ func New(space hashfn.Space, layoutR, layoutS tuple.Layout, budget int64, parts 
 	return NewWithPolicy(space, layoutR, layoutS, budget, parts, cm, Grace)
 }
 
+// NewRung returns a Manager operating as a join node's spill rung — the
+// last rung of the expanding algorithms' degradation ladder. Unlike the
+// out-of-core baseline the node's own hash table keeps holding the
+// resident partitions; the Manager owns only the evicted ones, fed through
+// EvictBuild / SpillBuild / SpillProbe, and joins them in Finish. The
+// budget bounds the block size of Finish's block-nested-loop passes.
+func NewRung(space hashfn.Space, layoutR, layoutS tuple.Layout, budget int64, parts int, cm rt.CostModel) *Manager {
+	return NewWithPolicy(space, layoutR, layoutS, budget, parts, cm, HybridHash)
+}
+
 // NewWithPolicy returns a Manager with an explicit degradation policy.
 func NewWithPolicy(space hashfn.Space, layoutR, layoutS tuple.Layout, budget int64, parts int, cm rt.CostModel, policy Policy) *Manager {
 	p := 1
@@ -128,6 +138,27 @@ func NewWithPolicy(space hashfn.Space, layoutR, layoutS tuple.Layout, budget int
 
 func (m *Manager) partOf(key uint64) int {
 	return int((key * fibMul) >> m.partShift)
+}
+
+// PartOf returns the spill partition a key sub-hashes into, so a rung-mode
+// caller can route tuples of evicted partitions here.
+func (m *Manager) PartOf(key uint64) int { return m.partOf(key) }
+
+// Parts returns the spill fan-out (rounded up to a power of two).
+func (m *Manager) Parts() int { return m.parts }
+
+// Spilled reports whether partition p has been evicted to disk.
+func (m *Manager) Spilled(p int) bool { return !m.resident[p] }
+
+// SpilledPartitions counts the partitions currently evicted to disk.
+func (m *Manager) SpilledPartitions() int64 {
+	var n int64
+	for _, res := range m.resident {
+		if !res {
+			n++
+		}
+	}
+	return n
 }
 
 func (m *Manager) chargeWrite(env rt.Env, bytes int64) {
@@ -221,6 +252,105 @@ func (m *Manager) evictLargest(env rt.Env) bool {
 	return true
 }
 
+// EvictBuild (rung mode) marks partition p evicted and takes ownership of
+// its build tuples, which the caller extracted from the node's live table.
+// Subsequent tuples of the partition must stream through SpillBuild /
+// SpillProbe.
+func (m *Manager) EvictBuild(env rt.Env, p int, moved []tuple.Tuple) {
+	m.resident[p] = false
+	if len(moved) == 0 {
+		return
+	}
+	env.ChargeCPU(m.cm.MoveNs * int64(len(moved)))
+	m.spilledR[p] = append(m.spilledR[p], moved...)
+	bytes := int64(len(moved)) * int64(m.layoutR.LogicalSize())
+	m.rBytes[p] += bytes
+	m.chargeWrite(env, bytes)
+	m.Evictions++
+}
+
+// SpillBuild (rung mode) streams one build tuple of an evicted partition to
+// disk; the node's live table never sees it.
+func (m *Manager) SpillBuild(env rt.Env, t tuple.Tuple) {
+	p := m.partOf(t.Key)
+	env.ChargeCPU(m.cm.MoveNs)
+	m.spilledR[p] = append(m.spilledR[p], t)
+	size := int64(m.layoutR.LogicalSize())
+	m.rBytes[p] += size
+	m.chargeWrite(env, size)
+}
+
+// SpillProbe (rung mode) streams one probe tuple of an evicted partition to
+// disk for the final phase.
+func (m *Manager) SpillProbe(env rt.Env, t tuple.Tuple) {
+	p := m.partOf(t.Key)
+	env.ChargeCPU(m.cm.MoveNs)
+	m.spilledS[p] = append(m.spilledS[p], t)
+	size := int64(m.layoutS.LogicalSize())
+	m.sBytes[p] += size
+	m.chargeWrite(env, size)
+}
+
+// ExtractRange reads back and removes every spilled build tuple whose
+// routing position falls in rng. A bucket split (or reshuffle) migrating
+// part of a spilled node's range must take the on-disk tuples with it, so
+// the extraction pays a seek plus the read-back of the moved bytes.
+func (m *Manager) ExtractRange(env rt.Env, rng hashfn.Range) []tuple.Tuple {
+	var moved []tuple.Tuple
+	size := int64(m.layoutR.LogicalSize())
+	for p := range m.spilledR {
+		kept := m.spilledR[p][:0]
+		for _, t := range m.spilledR[p] {
+			if rng.Contains(m.space.PositionOf(t.Key)) {
+				moved = append(moved, t)
+				m.rBytes[p] -= size
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		m.spilledR[p] = kept
+	}
+	if len(moved) > 0 {
+		bytes := int64(len(moved)) * size
+		env.ChargeCPU(m.cm.DiskSeekNs)
+		env.ChargeDisk(bytes, true)
+		m.SpillReadBytes += bytes
+	}
+	return moved
+}
+
+// PurgeRange discards every spilled tuple whose routing position falls in
+// rng without reading it back: failure recovery rebuilds the range from the
+// sources, and the spilled copies would otherwise duplicate the re-streamed
+// ones. Returns the number of build tuples dropped.
+func (m *Manager) PurgeRange(rng hashfn.Range) int64 {
+	var dropped int64
+	rSize := int64(m.layoutR.LogicalSize())
+	sSize := int64(m.layoutS.LogicalSize())
+	for p := range m.spilledR {
+		kept := m.spilledR[p][:0]
+		for _, t := range m.spilledR[p] {
+			if rng.Contains(m.space.PositionOf(t.Key)) {
+				dropped++
+				m.rBytes[p] -= rSize
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		m.spilledR[p] = kept
+		keptS := m.spilledS[p][:0]
+		for _, t := range m.spilledS[p] {
+			if rng.Contains(m.space.PositionOf(t.Key)) {
+				m.sBytes[p] -= sSize
+			} else {
+				keptS = append(keptS, t)
+			}
+		}
+		m.spilledS[p] = keptS
+	}
+	return dropped
+}
+
 // Probe handles one probe tuple: resident partitions probe immediately,
 // evicted ones spill the tuple for the final phase.
 func (m *Manager) Probe(env rt.Env, t tuple.Tuple) {
@@ -254,7 +384,11 @@ func (m *Manager) probeInto(env rt.Env, tbl *hashtable.Table, s tuple.Tuple) {
 func (m *Manager) Finish(env rt.Env) {
 	m.flushWrites(env)
 	for p := 0; p < m.parts; p++ {
-		if len(m.spilledR[p]) == 0 && len(m.spilledS[p]) == 0 {
+		rpart := m.spilledR[p]
+		if len(rpart) == 0 {
+			// A probe-only partition cannot produce matches: skip it
+			// entirely rather than paying a seek, building a transient
+			// empty table, and re-reading the whole spilled probe stream.
 			continue
 		}
 		rSize := int64(m.layoutR.LogicalSize())
@@ -262,8 +396,7 @@ func (m *Manager) Finish(env rt.Env) {
 		if blockTuples < 1 {
 			blockTuples = 1
 		}
-		rpart := m.spilledR[p]
-		for lo := 0; lo < len(rpart) || lo == 0; lo += blockTuples {
+		for lo := 0; lo < len(rpart); lo += blockTuples {
 			hi := lo + blockTuples
 			if hi > len(rpart) {
 				hi = len(rpart)
@@ -290,9 +423,6 @@ func (m *Manager) Finish(env rt.Env) {
 					env.ChargeCPU(m.cm.ProbeNs)
 					m.probeInto(env, tbl, s)
 				}
-			}
-			if len(rpart) == 0 {
-				break
 			}
 		}
 	}

@@ -212,6 +212,145 @@ func TestGraceSpillsEverythingHybridHashDoesNot(t *testing.T) {
 	}
 }
 
+func TestFinishSkipsEmptyBuildPartitions(t *testing.T) {
+	// Regression: Finish used to run the first BNL iteration even for a
+	// partition with no spilled build tuples, charging a disk seek,
+	// building a transient empty table, and re-reading the entire spilled
+	// probe partition — all for zero possible matches. The only reads
+	// Finish may charge here are the build partition's own blocks.
+	env := &fakeEnv{}
+	m := New(space, layout(), layout(), 100, 4, rt.OSUMed()) // nothing fits resident
+	rKey := uint64(1)
+	sKey := uint64(0)
+	for k := uint64(2); sKey == 0; k++ {
+		if m.partOf(k) != m.partOf(rKey) {
+			sKey = k
+		}
+	}
+	const nR, nS = 2, 50
+	for i := 0; i < nR; i++ {
+		m.InsertBuild(env, tuple.Tuple{Index: uint64(i), Key: rKey})
+	}
+	for i := 0; i < nS; i++ {
+		m.Probe(env, tuple.Tuple{Index: uint64(i), Key: sKey})
+	}
+	finishEnv := &fakeEnv{}
+	m.Finish(finishEnv)
+	rSize := int64(layout().LogicalSize())
+	if want := nR * rSize; finishEnv.reads != want {
+		t.Errorf("finish read %d bytes, want only the build blocks (%d) — "+
+			"probe-only partitions must be skipped", finishEnv.reads, want)
+	}
+	if m.Matches() != 0 {
+		t.Errorf("matches = %d, want 0", m.Matches())
+	}
+}
+
+func TestRungEvictAndFinishMatchesReference(t *testing.T) {
+	rs := genTuples(3000, 11, 500)
+	ss := genTuples(3000, 12, 500)
+	env := &fakeEnv{}
+	m := NewRung(space, layout(), layout(), 50*1000, 8, rt.OSUMed())
+	// Evict two partitions mid-build: the first 1500 build tuples are live
+	// at the node; their share of the evicted partitions moves to the rung.
+	pA, pB := m.PartOf(rs[0].Key), -1
+	for _, r := range rs {
+		if m.PartOf(r.Key) != pA {
+			pB = m.PartOf(r.Key)
+			break
+		}
+	}
+	extract := func(ts []tuple.Tuple, p int) []tuple.Tuple {
+		var out []tuple.Tuple
+		for _, t := range ts {
+			if m.PartOf(t.Key) == p {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	m.EvictBuild(env, pA, extract(rs[:1500], pA))
+	m.EvictBuild(env, pB, extract(rs[:1500], pB))
+	if m.SpilledPartitions() != 2 {
+		t.Fatalf("SpilledPartitions = %d, want 2", m.SpilledPartitions())
+	}
+	// Later arrivals of evicted partitions stream straight to the rung.
+	for _, r := range rs[1500:] {
+		if m.Spilled(m.PartOf(r.Key)) {
+			m.SpillBuild(env, r)
+		}
+	}
+	for _, s := range ss {
+		if m.Spilled(m.PartOf(s.Key)) {
+			m.SpillProbe(env, s)
+		}
+	}
+	m.Finish(env)
+
+	var spilledR, spilledS []tuple.Tuple
+	for _, r := range rs {
+		if m.Spilled(m.PartOf(r.Key)) {
+			spilledR = append(spilledR, r)
+		}
+	}
+	for _, s := range ss {
+		if m.Spilled(m.PartOf(s.Key)) {
+			spilledS = append(spilledS, s)
+		}
+	}
+	wantM, wantCk := refJoin(spilledR, spilledS)
+	if m.Matches() != wantM || m.Checksum() != wantCk {
+		t.Errorf("rung result %d/%#x, want %d/%#x", m.Matches(), m.Checksum(), wantM, wantCk)
+	}
+	if got := m.StoredBuildTuples(); got != int64(len(spilledR)) {
+		t.Errorf("stored %d build tuples, want %d", got, len(spilledR))
+	}
+	if m.SpillWrittenBytes == 0 || env.writes == 0 {
+		t.Error("rung accounted no spill writes")
+	}
+	if m.SpillReadBytes == 0 || env.reads == 0 {
+		t.Error("rung finish read nothing back")
+	}
+}
+
+func TestRungExtractAndPurgeRange(t *testing.T) {
+	env := &fakeEnv{}
+	m := NewRung(space, layout(), layout(), 10*1000, 4, rt.OSUMed())
+	rs := genTuples(1000, 13, 300)
+	p := m.PartOf(rs[0].Key)
+	m.EvictBuild(env, p, nil)
+	var inPart []tuple.Tuple
+	for _, r := range rs {
+		if m.PartOf(r.Key) == p {
+			m.SpillBuild(env, r)
+			inPart = append(inPart, r)
+		}
+	}
+	lower := hashfn.Range{Lo: 0, Hi: 512} // half the 10-bit position space
+	var wantMoved int64
+	for _, r := range inPart {
+		if lower.Contains(space.PositionOf(r.Key)) {
+			wantMoved++
+		}
+	}
+	readsBefore := env.reads
+	moved := m.ExtractRange(env, lower)
+	if int64(len(moved)) != wantMoved {
+		t.Errorf("extracted %d tuples, want %d", len(moved), wantMoved)
+	}
+	rSize := int64(layout().LogicalSize())
+	if got := env.reads - readsBefore; got != wantMoved*rSize {
+		t.Errorf("extraction charged %d read bytes, want %d", got, wantMoved*rSize)
+	}
+	upper := hashfn.Range{Lo: 512, Hi: 1024}
+	if dropped := m.PurgeRange(upper); dropped != int64(len(inPart))-wantMoved {
+		t.Errorf("purged %d tuples, want %d", dropped, int64(len(inPart))-wantMoved)
+	}
+	if got := m.StoredBuildTuples(); got != 0 {
+		t.Errorf("%d build tuples remain after extract+purge, want 0", got)
+	}
+}
+
 func TestWriteBatching(t *testing.T) {
 	// Small spills accumulate; disk time is charged in batches, flushed at
 	// Finish.

@@ -151,6 +151,57 @@ func TestDistributedSkewed(t *testing.T) {
 	}
 }
 
+// TestDistributedSpill runs the undersized spill scenario with the join
+// nodes hosted on TCP workers: the spillOrder/spillAck handshake crosses the
+// binary wire codec and the result must still match the simulator exactly.
+func TestDistributedSpill(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.Split, core.Replication, core.Hybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := distConfig(alg)
+			cfg.MaxNodes = 3
+			cfg.SpillEnabled = true
+			want, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.SpilledPartitions == 0 {
+				t.Fatal("scenario did not engage the spill rung")
+			}
+			blob, err := core.EncodeConfig(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids, err := core.JoinNodeIDs(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns, wg := startWorkers(t, 2)
+			assignment := make(map[rt.NodeID]int)
+			for i, id := range ids {
+				assignment[id] = i % 2
+			}
+			coord, err := tcpnet.NewCoordinator(blob, assignment, conns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.Execute(cfg, coord)
+			coord.Close()
+			wg.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Matches != want.Matches || got.Checksum != want.Checksum {
+				t.Errorf("distributed spill result %d/%#x, want %d/%#x",
+					got.Matches, got.Checksum, want.Matches, want.Checksum)
+			}
+			if got.SpilledPartitions == 0 || got.ExhaustedResources {
+				t.Errorf("distributed spill state wrong: partitions=%d exhausted=%v",
+					got.SpilledPartitions, got.ExhaustedResources)
+			}
+		})
+	}
+}
+
 // TestPartialAssignment keeps some join nodes in the coordinator process
 // and some on a worker.
 func TestPartialAssignment(t *testing.T) {
