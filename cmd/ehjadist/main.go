@@ -53,6 +53,7 @@ func main() {
 		resume       = flag.Bool("resume", true, "recover broken worker connections by ack-based session resume (retransmit only unacked frames) before falling back to re-streaming")
 		resumeWindow = flag.Duration("resume-window", tcpnet.DefaultResumeWindow,
 			"how long a disconnected worker may take to redial before the next recovery rung")
+		p2p = flag.Bool("p2p", true, "ship worker↔worker chunks over direct peer links (the data plane) instead of relaying through the coordinator; with -spawn=false every joind must also run -p2p")
 	)
 	flag.Parse()
 
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	if *worker {
-		runWorker(*connect, *chaos, *resume)
+		runWorker(*connect, *chaos, *resume, *p2p)
 		return
 	}
 
@@ -139,7 +140,7 @@ func main() {
 		}
 		for i := 0; i < *workers; i++ {
 			args := []string{"-worker", "-connect", l.Addr().String(), "-wire", *wireMode,
-				"-resume=" + strconv.FormatBool(*resume)}
+				"-resume=" + strconv.FormatBool(*resume), "-p2p=" + strconv.FormatBool(*p2p)}
 			if *chaos != "" {
 				args = append(args, "-chaos", *chaos)
 			}
@@ -177,6 +178,9 @@ func main() {
 
 	var coord *tcpnet.Coordinator
 	var opts []tcpnet.Option
+	if *p2p {
+		opts = append(opts, tcpnet.WithP2P())
+	}
 	if *resume {
 		// The coordinator takes over the listener: disconnected workers
 		// redial it and resume their session in place.
@@ -210,6 +214,7 @@ func main() {
 	}
 	start := time.Now()
 	report, err := core.Execute(cfg, coord)
+	stats := coord.TransportStats()
 	coord.Close()
 	for _, p := range procs {
 		_ = p.Wait()
@@ -224,6 +229,12 @@ func main() {
 		float64(*rTuples+*sTuples)/elapsed, *wireMode)
 	fmt.Printf("ehjadist: nodes %d -> %d, splits %d, replications %d\n",
 		report.InitialNodes, report.FinalNodes, report.Splits, report.Replications)
+	topology := "star"
+	if *p2p {
+		topology = "p2p"
+	}
+	fmt.Printf("ehjadist: %s topology, coordinator relayed %d worker-to-worker message(s) (%d KB)\n",
+		topology, stats.RelayedMessages, stats.RelayedBytes>>10)
 	if report.Cores > 1 {
 		fmt.Printf("ehjadist: %d cores/node, %d morsels, pool utilization %.0f%%\n",
 			report.Cores, report.PoolMorsels, 100*report.PoolUtilization)
@@ -265,7 +276,7 @@ func parseKill(s string) (worker int, after time.Duration, err error) {
 	return worker, time.Duration(sec * float64(time.Second)), nil
 }
 
-func runWorker(connect, chaos string, resume bool) {
+func runWorker(connect, chaos string, resume, p2p bool) {
 	plan, err := tcpnet.ParseChaos(chaos)
 	if err != nil {
 		fatal(err)
@@ -295,6 +306,14 @@ func runWorker(connect, chaos string, resume bool) {
 	var opts []tcpnet.WorkerOption
 	if resume {
 		opts = append(opts, tcpnet.WithWorkerResume(dial, 0, 0))
+	}
+	if p2p {
+		opts = append(opts, tcpnet.WithWorkerP2P(":0"))
+		if chaos != "" {
+			// Peer links share the process's one chaos plan, so a scheduled
+			// fault fires once per worker whichever link it lands on.
+			opts = append(opts, tcpnet.WithWorkerPeerChaos(plan.Wrap))
+		}
 	}
 	if err := tcpnet.RunWorker(conn, factory, opts...); err != nil {
 		fatal(err)

@@ -27,6 +27,8 @@ func main() {
 	chaos := flag.String("chaos", "", "deterministic network fault injection on this connection: a PRNG seed, or a schedule like corrupt@4096;tear@9000;dup@3")
 	resume := flag.Bool("resume", true, "redial the coordinator and resume the session when the connection breaks")
 	noSpill := flag.Bool("no-spill", false, "decline spill orders on this worker even when the coordinator enables the spill rung (e.g. no usable local disk)")
+	p2p := flag.Bool("p2p", true, "exchange worker↔worker chunks over direct peer links; must match the coordinator's -p2p setting")
+	peerListen := flag.String("peer-listen", ":0", "data-plane listener address other workers dial (p2p mode); the advertised host falls back to this worker's coordinator-facing address when unspecified")
 	flag.Parse()
 
 	switch *wireMode {
@@ -80,6 +82,14 @@ func main() {
 	var opts []tcpnet.WorkerOption
 	if *resume {
 		opts = append(opts, tcpnet.WithWorkerResume(dial, 0, 0))
+	}
+	if *p2p {
+		opts = append(opts, tcpnet.WithWorkerP2P(*peerListen))
+		if *chaos != "" {
+			// Peer links share this process's one chaos plan, so a scheduled
+			// fault fires once per worker whichever link it lands on.
+			opts = append(opts, tcpnet.WithWorkerPeerChaos(plan.Wrap))
+		}
 	}
 	if err := tcpnet.RunWorker(conn, factory, opts...); err != nil {
 		fmt.Fprintln(os.Stderr, "joind:", err)

@@ -249,6 +249,8 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		r.ChecksumFailures = s.ChecksumFailures
 		r.DuplicateFrames = s.DuplicateFrames
 		r.SessionFrames = s.FramesSent
+		r.RelayedMessages = s.RelayedMessages
+		r.RelayedBytes = s.RelayedBytes
 	}
 	// RecoveryRung records the most expensive recovery path the run took:
 	// the session layer's ack-based resume is rung 1, the scheduler's

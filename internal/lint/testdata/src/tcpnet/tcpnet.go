@@ -26,3 +26,18 @@ func handshake() chan frame {
 	out <- frame{seq: 1}
 	return out
 }
+
+// peerLink mirrors the p2p data plane's per-link outbox: sends through a
+// field selector are the same discipline as sends on a local channel.
+type peerLink struct{ out chan frame }
+
+func ackPeerNaked(lk *peerLink) {
+	lk.out <- frame{} // want `blocking send on lk.out outside select`
+}
+
+func ackPeerGuarded(lk *peerLink) {
+	select {
+	case lk.out <- frame{}:
+	default: // a full outbox is traffic that will carry the ack
+	}
+}

@@ -75,6 +75,12 @@ type TransportStats struct {
 	// FramesSent counts unique reliable frames sequenced, both
 	// directions summed (retransmissions excluded).
 	FramesSent int64
+	// RelayedMessages counts worker→worker messages that relayed through
+	// the coordinator hub (star topology); ~0 with the p2p data plane,
+	// where chunk traffic travels over direct worker↔worker links.
+	RelayedMessages int64
+	// RelayedBytes is the payload volume of those relayed messages.
+	RelayedBytes int64
 }
 
 // Engine runs a set of actors to quiescence.

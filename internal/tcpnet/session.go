@@ -31,13 +31,26 @@ const (
 	// disconnect falls back to a full reassignment.
 	DefaultRetransmitFrames = 8192
 	DefaultRetransmitBytes  = 32 << 20
+
+	// ackDebtThreshold caps how many reliable frames a receiver absorbs
+	// before volunteering a bare ack even mid-batch. Piggyback acks cover
+	// bidirectional links, and blocking-point acks cover idle ones; a link
+	// whose receive direction is busy while its send direction is silent —
+	// a p2p stage handoff, a pure build-phase ingest — has neither, and
+	// without this bound the sender's retransmit buffer balloons until the
+	// session overflows and loses resumability.
+	ackDebtThreshold = 256
 )
 
 // reliableKind reports whether frames of this kind carry a session
 // sequence number, are buffered for retransmission until acked, and are
 // deduplicated by the receiver. Control frames (ping, ack, handshake,
 // shutdown) are idempotent or connection-scoped and stay unsequenced.
-func reliableKind(k frameKind) bool { return k == frameMsg || k == frameReport }
+// framePeerEpoch/framePeerDown are reliable: losing one across a
+// coordinator-link resume would wedge a peer pair's reset forever.
+func reliableKind(k frameKind) bool {
+	return k == frameMsg || k == frameReport || k == framePeerEpoch || k == framePeerDown
+}
 
 // sentFrame is one retransmit-buffer entry: a reliable frame's complete
 // wire encoding (length prefix included), replayable verbatim.
@@ -178,6 +191,15 @@ func (s *session) needAck() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastSeqSeen > s.lastAckSent
+}
+
+// ackDebt counts received reliable frames no outgoing frame has
+// acknowledged yet — every one of them is a frame the sender is still
+// holding in its retransmit buffer on our account.
+func (s *session) ackDebt() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeqSeen - s.lastAckSent
 }
 
 // resumable reports whether this epoch can still be resumed from the

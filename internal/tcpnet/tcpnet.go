@@ -65,9 +65,14 @@ const (
 	frameShutdown
 	framePing
 	framePong
-	frameResume   // worker → coordinator: redial handshake hello
-	frameResumeOK // coordinator → worker: resume accepted
-	frameAck      // bare cumulative ack, sent when idle traffic can't carry one
+	frameResume      // worker → coordinator: redial handshake hello
+	frameResumeOK    // coordinator → worker: resume accepted
+	frameAck         // bare cumulative ack, sent when idle traffic can't carry one
+	framePeerAddr    // worker → coordinator: data-plane listener address (p2p bootstrap)
+	framePeerHello   // worker → worker: peer-link dial/resume handshake hello
+	framePeerHelloOK // worker → worker: peer-link handshake accepted
+	framePeerEpoch   // coordinator → worker: a peer was reassigned; reset its link under the new epoch
+	framePeerDown    // coordinator → worker: a peer is dead; drop its link and its traffic
 )
 
 // frame is the wire unit in both directions.
@@ -84,24 +89,43 @@ type frame struct {
 	Session uint64
 	Epoch   uint32
 
-	// frameResume / frameResumeOK
+	// frameAssign, p2p extension: this worker's index, the peer address
+	// book, the coordinator-owned per-worker peer epochs, and the full
+	// node→worker map (so workers route chunk traffic directly). All empty
+	// in star mode.
+	Worker     int32
+	Peers      []string
+	Epochs     []uint32
+	MapIDs     []int32
+	MapWorkers []int32
+
+	// frameResume / frameResumeOK / framePeerHello / framePeerHelloOK
 	LastSeq   uint64
 	CanReplay bool
 
-	// frameMsg
+	// framePeerAddr: the worker's advertised data-plane listener address.
+	Addr string
+
+	// frameMsg. From doubles as the peer-worker index on framePeerHello
+	// (the dialer) and framePeerEpoch/framePeerDown (the subject worker).
 	From, To int32
 	Msg      rt.Message
 
 	// frameReport (cumulative counters)
 	Processed int64
 	Emitted   int64
+	// Per-peer data-plane counters, indexed by worker (p2p mode only):
+	// messages this worker emitted to / processed from each peer link.
+	PeerEmitted   []int64
+	PeerProcessed []int64
 	// Worker-side session stats, piggybacked so the coordinator can fold
 	// them into the run report without another protocol.
 	WFrames   int64 // unique reliable frames the worker sequenced
-	WResumes  int64 // resumes the worker performed
+	WResumes  int64 // peer-link resumes (dialer end only); coordinator-link resumes are counted coordinator-side
 	WRetrans  int64 // frames the worker retransmitted on resume
 	WChecksum int64 // checksum failures the worker observed
 	WDups     int64 // duplicate frames the worker dropped
+	WDropped  int64 // messages the worker dropped toward dead peers
 }
 
 // DrainTimeout is the default bound on a single Drain call; override with
@@ -203,8 +227,12 @@ type workerConn struct {
 	resumeDeadline time.Time // while reconnecting: give up on resume after this
 	failCause      error     // what broke the last connection
 
+	// Latest worker-reported per-peer data-plane counters (p2p mode).
+	peerEmitted   []int64
+	peerProcessed []int64
+
 	// Latest worker-reported session stats.
-	repWFrames, repWResumes, repWRetrans, repWChecksum, repWDups int64
+	repWFrames, repWResumes, repWRetrans, repWChecksum, repWDups, repWDropped int64
 }
 
 type localDelivery struct {
@@ -239,9 +267,19 @@ type Coordinator struct {
 	queue      []localDelivery
 	start      time.Time
 	closed     bool
+	done       chan struct{} // closed by Close; cancels background redials
 
 	cfgBlob   []byte
 	perWorker [][]int32
+
+	// p2p data plane (WithP2P): peer address book collected at bootstrap
+	// and the coordinator-owned per-worker peer epochs, bumped on every
+	// full reassignment so peers reset their direct links.
+	p2p        bool
+	peerAddrs  []string
+	peerEpochs []uint32
+
+	lastProgress time.Time // last applied frame or local delivery (Drain inactivity clock)
 
 	drainTimeout  time.Duration
 	hbInterval    time.Duration
@@ -259,6 +297,8 @@ type Coordinator struct {
 	fullReassigns int64 // rung-2 recoveries performed
 	retransmitted int64 // frames the coordinator replayed on resume
 	checksumFails int64 // corrupted frames the coordinator's read loops rejected
+	relayedMsgs   int64 // worker→worker messages relayed through the coordinator
+	relayedBytes  int64 // payload bytes of those relayed messages
 }
 
 // Option configures a Coordinator.
@@ -322,6 +362,19 @@ func WithResume(l net.Listener, window time.Duration) Option {
 	}
 }
 
+// WithP2P enables the peer-to-peer data plane: at bootstrap every worker
+// advertises a data-plane listener address (framePeerAddr, read before its
+// assignment is sent), the coordinator distributes the address book and
+// the full node→worker map with each assignment, and workers exchange
+// chunk-bearing traffic over direct worker↔worker connections instead of
+// relaying through the coordinator. Control traffic (assignments, spill
+// negotiation, reports, heartbeats, epoch bumps) stays on the star. The
+// quiescence predicate generalizes to per-pair counters carried in worker
+// reports (see quiescent).
+func WithP2P() Option {
+	return func(c *Coordinator) { c.p2p = true }
+}
+
 // WithRetransmitWindow bounds each worker session's retransmit buffer
 // (defaults DefaultRetransmitFrames / DefaultRetransmitBytes). A session
 // whose window overflows stays functional but loses resumability for the
@@ -352,6 +405,7 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 		o(c)
 	}
 	c.inbox = make(chan taggedFrame, c.inboxCap)
+	c.done = make(chan struct{})
 	c.perWorker = make([][]int32, len(conns))
 	for id, w := range assignment {
 		if w < 0 || w >= len(conns) {
@@ -365,27 +419,110 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 	for _, ids := range c.perWorker {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
+	if c.p2p {
+		if len(conns) > maxP2PWorkers {
+			return nil, fmt.Errorf("tcpnet: p2p mode supports at most %d workers, got %d",
+				maxP2PWorkers, len(conns))
+		}
+		if c.reconnect != nil {
+			// A coordinator-dialed replacement process would listen on a
+			// fresh data-plane address, and there is no protocol for
+			// re-broadcasting the address book mid-run. Worker-initiated
+			// resume (WithResume) covers rungs 1-2; rung 3 is death.
+			return nil, errors.New("tcpnet: WithP2P is incompatible with WithReconnect; use WithResume")
+		}
+		c.peerEpochs = make([]uint32, len(conns))
+	}
 	// Session ids only need to be unique within a run and unlikely to
 	// collide with a stale worker from a previous run redialing the same
 	// port; a timestamp base with the worker index in the low bits does.
+	// Peer-pair sessions carve out the 0x8000 bit of the same low range
+	// (see pairSession), so they can never collide with a worker session.
 	base := uint64(time.Now().UnixNano()) &^ 0xFFFF
 	now := time.Now()
+	readers := make([]*wireReader, len(conns))
+	for i, conn := range conns {
+		readers[i] = newWireReader(conn)
+		if !c.p2p {
+			continue
+		}
+		// p2p bootstrap: the worker's first frame advertises its data-plane
+		// listener; it must be in hand before any assignment goes out, so
+		// every assignment can carry the complete address book.
+		_ = conn.SetReadDeadline(now.Add(resumeHandshakeTimeout))
+		f, err := readers[i].ReadFrame()
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: worker %d peer-address hello: %w", i, err)
+		}
+		if f.Kind != framePeerAddr || f.Addr == "" {
+			kind, addr := f.Kind, f.Addr
+			putFrame(f)
+			return nil, fmt.Errorf("tcpnet: worker %d sent frame kind %d (addr %q), want its peer address: is the worker running with p2p enabled?",
+				i, kind, addr)
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		c.peerAddrs = append(c.peerAddrs, f.Addr)
+		putFrame(f)
+	}
 	for i, conn := range conns {
 		w := &workerConn{conn: conn, lastHeard: now,
 			sess: newSession(base|uint64(i), c.retransFrames, c.retransBytes)}
 		c.bySession[w.sess.id] = i
-		c.startWriter(w, conn, nil, nil)
-		af := getFrame()
-		af.Kind, af.Session, af.CfgBlob, af.IDs = frameAssign, w.sess.id, cfgBlob, c.perWorker[i]
-		//lint:allow chansend outbox was created empty this iteration and the writer just started; the first send cannot fill it
-		w.out <- af
 		c.workers = append(c.workers, w)
-		go c.readLoop(i, 0, newWireReader(conn))
+	}
+	for i, conn := range conns {
+		w := c.workers[i]
+		c.startWriter(w, conn, nil, nil)
+		//lint:allow chansend outbox was created empty this iteration and the writer just started; the first send cannot fill it
+		w.out <- c.assignFrame(i, 0)
+		go c.readLoop(i, 0, readers[i])
 	}
 	if c.resumeL != nil {
 		go c.acceptLoop(c.resumeL)
 	}
 	return c, nil
+}
+
+// maxP2PWorkers bounds the worker count in p2p mode so peer-pair session
+// ids fit the low 16 bits reserved next to worker session ids.
+const maxP2PWorkers = 128
+
+// pairSession derives the session id both ends of a peer link (i, j)
+// compute independently: the run's session base with the 0x8000 flag and
+// the ordered pair packed in the low bits.
+func pairSession(base uint64, i, j int) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return base | 0x8000 | uint64(i)<<7 | uint64(j)
+}
+
+// assignFrame builds worker i's assignment frame: configuration, node ids,
+// session identity, and — in p2p mode — the worker's index, the peer
+// address book, the current peer epochs, and the full node→worker map.
+func (c *Coordinator) assignFrame(i int, epoch uint32) *frame {
+	af := getFrame()
+	af.Kind, af.Session, af.Epoch = frameAssign, c.workers[i].sess.id, epoch
+	af.CfgBlob, af.IDs = c.cfgBlob, c.perWorker[i]
+	if !c.p2p {
+		af.Worker = -1
+		return af
+	}
+	af.Worker = int32(i)
+	af.Peers = c.peerAddrs
+	af.Epochs = append([]uint32(nil), c.peerEpochs...)
+	ids := make([]rt.NodeID, 0, len(c.assignment))
+	for id := range c.assignment {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	af.MapIDs = make([]int32, len(ids))
+	af.MapWorkers = make([]int32, len(ids))
+	for k, id := range ids {
+		af.MapIDs[k] = int32(id)
+		af.MapWorkers[k] = int32(c.assignment[id])
+	}
+	return af
 }
 
 // startWriter attaches a fresh outbox and writer goroutine to w's current
@@ -515,6 +652,13 @@ func (c *Coordinator) Inject(to rt.NodeID, m rt.Message) {
 
 func (c *Coordinator) route(from, to rt.NodeID, m rt.Message) {
 	if w, remote := c.assignment[to]; remote {
+		if _, fromRemote := c.assignment[from]; fromRemote {
+			// Worker→worker traffic relaying through the star hub — the
+			// bandwidth the p2p data plane exists to remove. In p2p mode
+			// this stays ~0: workers ship it over direct links instead.
+			c.relayedMsgs++
+			c.relayedBytes += int64(m.WireSize())
+		}
 		wc := c.workers[w]
 		if wc.state != stateLive {
 			if wc.state == stateReconnecting && c.resumeL != nil && wc.sess.resumable() {
@@ -623,30 +767,106 @@ func (c *Coordinator) failWorker(i int, cause error) {
 	if c.reconnect != nil {
 		w.state = stateReconnecting
 		epoch := w.sess.bumpEpoch()
-		go c.redial(i, cause, epoch)
+		c.bumpPeerEpoch(i)
+		go c.redial(i, cause, c.assignFrame(i, epoch))
 		return
 	}
-	w.state = stateDead
+	c.markDead(i, cause)
+}
+
+// markDead tombstones worker i: peers are told to drop their direct links
+// to it (p2p), and the failure handler (or Drain's fatal error) takes over.
+func (c *Coordinator) markDead(i int, cause error) {
+	c.workers[i].state = stateDead
+	if c.p2p {
+		for j, w := range c.workers {
+			if j == i || w.state == stateDead {
+				continue
+			}
+			f := getFrame()
+			f.Kind, f.From = framePeerDown, int32(i)
+			c.sendCtl(j, f)
+		}
+	}
 	c.notifyDeath(i, cause)
+}
+
+// bumpPeerEpoch advances worker i's peer epoch (it is being reassigned
+// from scratch, so every direct link to it must reset) and broadcasts the
+// bump to the other workers. Worker i itself learns the new epoch from the
+// fresh assignment frame.
+func (c *Coordinator) bumpPeerEpoch(i int) {
+	if !c.p2p {
+		return
+	}
+	c.peerEpochs[i]++
+	for j, w := range c.workers {
+		if j == i || w.state == stateDead {
+			continue
+		}
+		f := getFrame()
+		f.Kind, f.From, f.Epoch = framePeerEpoch, int32(i), c.peerEpochs[i]
+		c.sendCtl(j, f)
+	}
+}
+
+// sendCtl delivers a reliable control frame to worker j, sequencing it
+// straight into the session's retransmit buffer when the worker is between
+// connections (it will be replayed on resume, in order with the message
+// stream). Frames to dead or non-resumable workers are dropped: a worker
+// that comes back at all comes back through a fresh assignment, which
+// carries the complete peer state these frames were incrementally updating.
+func (c *Coordinator) sendCtl(j int, f *frame) {
+	w := c.workers[j]
+	switch {
+	case w.state == stateLive:
+		_ = c.send(j, f)
+	case w.state == stateReconnecting && c.resumeL != nil && w.sess.resumable():
+		_, err := w.sess.encode(f)
+		putFrame(f)
+		if err != nil && c.fatal == nil {
+			c.fatal = err
+		}
+	default:
+		putFrame(f)
+	}
 }
 
 // redial re-establishes worker i's connection per the reconnect policy.
 // It runs in its own goroutine: backoff sleeps and slow dials happen off
 // the drain loop, so heartbeats and message relay for healthy workers
 // continue while this worker reconnects. The outcome is delivered to the
-// drain loop through the inbox.
-func (c *Coordinator) redial(i int, cause error, epoch uint32) {
+// drain loop through the inbox. Close cancels it: the done channel is
+// checked before every sleep and dial, so the goroutine never outlives the
+// coordinator by attempts × backoff dialing a dead address. af is the
+// pre-built assignment frame (built on the drain loop, where the peer
+// epochs are stable); redial owns it and returns it to the pool.
+func (c *Coordinator) redial(i int, cause error, af *frame) {
+	defer putFrame(af)
+	backoff := time.NewTimer(0)
+	if !backoff.Stop() {
+		<-backoff.C
+	}
+	defer backoff.Stop()
 	for attempt := 0; attempt < c.reconnect.attempts; attempt++ {
 		if attempt > 0 && c.reconnect.backoff > 0 {
-			time.Sleep(c.reconnect.backoff)
+			backoff.Reset(c.reconnect.backoff)
+			select {
+			case <-backoff.C:
+			case <-c.done:
+				return
+			}
+		}
+		select {
+		case <-c.done:
+			return
+		default:
 		}
 		conn, err := c.reconnect.dial(i)
 		if err != nil {
 			continue
 		}
 		w := newWireWriter(conn)
-		af := &frame{Kind: frameAssign, Session: c.workers[i].sess.id, Epoch: epoch,
-			CfgBlob: c.cfgBlob, IDs: c.perWorker[i]}
 		if err := w.WriteFrame(af); err != nil {
 			_ = conn.Close()
 			continue
@@ -655,12 +875,17 @@ func (c *Coordinator) redial(i int, cause error, epoch uint32) {
 			_ = conn.Close()
 			continue
 		}
-		//lint:allow chansend redial results ride the same always-drained inbox as read frames
-		c.inbox <- taggedFrame{worker: i, redial: &redialResult{conn: conn, cause: cause}}
+		select {
+		case c.inbox <- taggedFrame{worker: i, redial: &redialResult{conn: conn, cause: cause}}:
+		case <-c.done:
+			_ = conn.Close()
+		}
 		return
 	}
-	//lint:allow chansend redial results ride the same always-drained inbox as read frames
-	c.inbox <- taggedFrame{worker: i, redial: &redialResult{cause: cause}}
+	select {
+	case c.inbox <- taggedFrame{worker: i, redial: &redialResult{cause: cause}}:
+	case <-c.done:
+	}
 }
 
 // applyRedial installs (or buries) the result of an asynchronous redial.
@@ -673,8 +898,7 @@ func (c *Coordinator) applyRedial(i int, r *redialResult) {
 		return
 	}
 	if r.conn == nil {
-		w.state = stateDead
-		c.notifyDeath(i, r.cause)
+		c.markDead(i, r.cause)
 		return
 	}
 	// Transport restored, but the replacement process rebuilt its actors
@@ -683,6 +907,7 @@ func (c *Coordinator) applyRedial(i int, r *redialResult) {
 	w.conn = r.conn
 	w.gen++
 	w.delivered, w.processed, w.received, w.emitted = 0, 0, 0, 0
+	w.peerEmitted, w.peerProcessed = nil, nil
 	w.lastHeard = time.Now()
 	w.state = stateLive
 	c.fullReassigns++
@@ -752,20 +977,39 @@ func (c *Coordinator) applyResume(req *resumeRequest) {
 		req.session, req.epoch, sess.epochNow(), req.canReplay, sess.resumable(), cause)
 	epoch := sess.bumpEpoch()
 	sess.reset()
-	af := getFrame()
-	af.Kind, af.Session, af.Epoch, af.CfgBlob, af.IDs =
-		frameAssign, sess.id, epoch, c.cfgBlob, c.perWorker[i]
+	c.bumpPeerEpoch(i)
+	af := c.assignFrame(i, epoch)
 	w.conn = req.conn
 	w.gen++
 	w.delivered, w.processed, w.received, w.emitted = 0, 0, 0, 0
+	w.peerEmitted, w.peerProcessed = nil, nil
 	w.lastHeard = time.Now()
 	w.state = stateLive
 	w.resumeDeadline = time.Time{}
 	w.failCause = nil
 	c.fullReassigns++
 	c.startWriter(w, req.conn, af, nil)
+	c.sendPeerLiveness(i)
 	go c.readLoop(i, w.gen, req.r)
 	c.notifyDeath(i, cause)
+}
+
+// sendPeerLiveness catches a freshly reassigned worker up on peers that
+// died before its new assignment: the fresh assignment carries epochs and
+// addresses but not liveness, and without these frames the worker would
+// redial a dead peer's address forever.
+func (c *Coordinator) sendPeerLiveness(i int) {
+	if !c.p2p {
+		return
+	}
+	for k, w := range c.workers {
+		if k == i || w.state != stateDead {
+			continue
+		}
+		f := getFrame()
+		f.Kind, f.From = framePeerDown, int32(k)
+		c.sendCtl(i, f)
+	}
 }
 
 func (c *Coordinator) notifyDeath(i int, cause error) {
@@ -789,6 +1033,24 @@ func (c *Coordinator) notifyDeath(i int, cause error) {
 // excluded: their outstanding counters can never settle. A reconnecting
 // worker blocks quiescence — its resume, redial outcome, or the failure
 // notification that follows, are still in flight.
+//
+// In p2p mode the per-connection predicate generalizes to per-link
+// counters: besides each coordinator link's delivered==processed and
+// received==emitted, every ordered live pair (i, j) must agree that what i
+// emitted onto its direct link to j, j has processed:
+//
+//	emittedTo_i[j] == processedFrom_j[i]
+//
+// A single evaluation over the latest reports is sound: every emission is
+// caused by processing some delivered message, and the report that first
+// carries the emission also carries that processing (reports are written
+// at blocking points, counters move atomically per report). Walking any
+// in-flight message's causal chain downward therefore reaches a counter
+// the predicate can see is unsettled — bottoming out at a coordinator
+// injection, where the coordinator's own delivered count breaks the
+// equality. Drain still confirms on a second matching round (see the
+// quiescence check there) as insurance against future counter additions
+// that might not preserve the atomicity argument.
 func (c *Coordinator) quiescent() bool {
 	if len(c.queue) > 0 || len(c.pending) > 0 {
 		return false
@@ -804,14 +1066,44 @@ func (c *Coordinator) quiescent() bool {
 			return false
 		}
 	}
+	if c.p2p {
+		for i, wi := range c.workers {
+			if wi.state != stateLive {
+				continue
+			}
+			for j, wj := range c.workers {
+				if j == i || wj.state != stateLive {
+					continue
+				}
+				if peerCount(wi.peerEmitted, j) != peerCount(wj.peerProcessed, i) {
+					return false
+				}
+			}
+		}
+	}
 	return true
+}
+
+// peerCount reads a per-peer counter array that may not have been reported
+// yet (nil until the worker's first p2p report).
+func peerCount(a []int64, i int) int64 {
+	if i >= len(a) {
+		return 0
+	}
+	return a[i]
 }
 
 // Drain implements runtime.Engine: process local deliveries and relay
 // worker traffic until global quiescence, pinging workers along the way.
+//
+// The drain timeout is inactivity-based: the deadline resets on every
+// applied frame and every batch of local deliveries, so a long healthy
+// run with continuous traffic never times out mid-join — only a drain
+// where nothing has made progress for the whole timeout does.
 func (c *Coordinator) Drain() error {
 	env := &coordEnv{c: c}
-	deadline := time.After(c.drainTimeout)
+	idle := time.NewTimer(c.drainTimeout)
+	defer idle.Stop()
 	var heartbeat <-chan time.Time
 	if c.hbInterval > 0 {
 		t := time.NewTicker(c.hbInterval)
@@ -825,6 +1117,7 @@ func (c *Coordinator) Drain() error {
 	// holds for a resume deadline set at the tail of the previous drain.
 	// Dead workers are not expected to speak at all.
 	now := time.Now()
+	c.lastProgress = now
 	for _, w := range c.workers {
 		switch w.state {
 		case stateLive:
@@ -853,12 +1146,23 @@ func (c *Coordinator) Drain() error {
 			env.self = d.to
 			c.local[d.to].Receive(env, d.from, d.msg)
 			c.absorb()
+			c.lastProgress = time.Now()
 		}
 		if c.fatal != nil {
 			return c.fatal
 		}
 		if c.quiescent() {
-			return nil
+			// Confirmation round: absorb anything that raced into the
+			// inbox and require the predicate to hold again over the same
+			// settled counters before declaring the barrier passed.
+			c.absorb()
+			if c.fatal != nil {
+				return c.fatal
+			}
+			if len(c.queue) == 0 && c.quiescent() {
+				return nil
+			}
+			continue
 		}
 		// Block until a worker has something for us.
 		select {
@@ -868,7 +1172,11 @@ func (c *Coordinator) Drain() error {
 			c.pingWorkers()
 		case <-sessTick.C:
 			c.sessionTick()
-		case <-deadline:
+		case <-idle.C:
+			if wait := c.drainTimeout - time.Since(c.lastProgress); wait > 0 {
+				idle.Reset(wait)
+				continue
+			}
 			return c.timeoutError()
 		}
 	}
@@ -927,11 +1235,11 @@ func (c *Coordinator) sessionTick() {
 				cause = fmt.Errorf("no resume within %v: %w", c.resumeWindow, cause)
 				if c.reconnect != nil {
 					epoch := w.sess.bumpEpoch()
-					go c.redial(i, cause, epoch)
+					c.bumpPeerEpoch(i)
+					go c.redial(i, cause, c.assignFrame(i, epoch))
 					continue
 				}
-				w.state = stateDead
-				c.notifyDeath(i, cause)
+				c.markDead(i, cause)
 			}
 		}
 	}
@@ -998,6 +1306,7 @@ func (c *Coordinator) apply(tf taggedFrame) {
 		return
 	}
 	w.lastHeard = time.Now()
+	c.lastProgress = w.lastHeard
 	f := tf.f
 	w.sess.peerAck(f.Ack)
 	if f.Seq > 0 {
@@ -1024,10 +1333,30 @@ func (c *Coordinator) apply(tf taggedFrame) {
 		w.repWRetrans = f.WRetrans
 		w.repWChecksum = f.WChecksum
 		w.repWDups = f.WDups
+		w.repWDropped = f.WDropped
+		w.peerEmitted = append(w.peerEmitted[:0], f.PeerEmitted...)
+		w.peerProcessed = append(w.peerProcessed[:0], f.PeerProcessed...)
 	case framePong, frameAck:
 		// lastHeard and peerAck updates above are the whole point.
 	}
+	wasReliable := f.Seq > 0
 	putFrame(f)
+	if !wasReliable {
+		return
+	}
+	// A worker streaming results up with nothing routed back to it gets no
+	// piggyback acks from us; cap its retransmit debt mid-stream. The ack
+	// is encoded by the writer goroutine (debt resets when it drains), so
+	// the modulo limits the trigger to one ack per threshold of frames.
+	if debt := w.sess.ackDebt(); debt >= ackDebtThreshold && debt%ackDebtThreshold == 0 {
+		af := getFrame()
+		af.Kind = frameAck
+		select {
+		case w.out <- af:
+		default:
+			putFrame(af) // a full outbox is traffic that will carry the ack
+		}
+	}
 }
 
 // NowSeconds implements runtime.Engine with wall-clock time.
@@ -1047,12 +1376,18 @@ func (c *Coordinator) TransportStats() rt.TransportStats {
 		RetransmittedFrames: c.retransmitted,
 		ChecksumFailures:    c.checksumFails,
 		DroppedMessages:     c.dropped,
+		RelayedMessages:     c.relayedMsgs,
+		RelayedBytes:        c.relayedBytes,
 	}
 	for _, w := range c.workers {
 		ts.FramesSent += w.sess.framesSent() + w.repWFrames
 		ts.DuplicateFrames += w.sess.dupes() + w.repWDups
 		ts.RetransmittedFrames += w.repWRetrans
 		ts.ChecksumFailures += w.repWChecksum
+		ts.DroppedMessages += w.repWDropped
+		// WResumes is peer-link resumes only (counted once per pair, by the
+		// dialer end); coordinator-link resumes are already in c.resumes.
+		ts.Resumes += w.repWResumes
 	}
 	return ts
 }
@@ -1066,6 +1401,7 @@ func (c *Coordinator) Close() {
 		return
 	}
 	c.closed = true
+	close(c.done)
 	if c.resumeL != nil {
 		_ = c.resumeL.Close()
 	}

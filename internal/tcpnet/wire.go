@@ -86,6 +86,23 @@ func appendFrame(dst []byte, f *frame, seq, ack uint64) ([]byte, error) {
 		for _, id := range f.IDs {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
 		}
+		// p2p extension: worker index, address book, peer epochs, and the
+		// full node→worker map. All zero-length in star mode.
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Worker))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Peers)))
+		for _, p := range f.Peers {
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p)))
+			dst = append(dst, p...)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Epochs)))
+		for _, e := range f.Epochs {
+			dst = binary.LittleEndian.AppendUint32(dst, e)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.MapIDs)))
+		for i, id := range f.MapIDs {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(f.MapWorkers[i]))
+		}
 	case frameMsg:
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.To))
@@ -100,6 +117,14 @@ func appendFrame(dst []byte, f *frame, seq, ack uint64) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WRetrans))
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WChecksum))
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WDups))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.WDropped))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.PeerEmitted)))
+		for _, v := range f.PeerEmitted {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+		for _, v := range f.PeerProcessed {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
 	case frameResume:
 		dst = binary.LittleEndian.AppendUint64(dst, f.Session)
 		dst = binary.LittleEndian.AppendUint32(dst, f.Epoch)
@@ -111,6 +136,26 @@ func appendFrame(dst []byte, f *frame, seq, ack uint64) ([]byte, error) {
 		dst = append(dst, replay)
 	case frameResumeOK:
 		dst = binary.LittleEndian.AppendUint64(dst, f.LastSeq)
+	case framePeerAddr:
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(f.Addr)))
+		dst = append(dst, f.Addr...)
+	case framePeerHello:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
+		dst = binary.LittleEndian.AppendUint64(dst, f.Session)
+		dst = binary.LittleEndian.AppendUint32(dst, f.Epoch)
+		dst = binary.LittleEndian.AppendUint64(dst, f.LastSeq)
+		var replay byte
+		if f.CanReplay {
+			replay = 1
+		}
+		dst = append(dst, replay)
+	case framePeerHelloOK:
+		dst = binary.LittleEndian.AppendUint64(dst, f.LastSeq)
+	case framePeerEpoch:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
+		dst = binary.LittleEndian.AppendUint32(dst, f.Epoch)
+	case framePeerDown:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
 	case framePing, framePong, frameShutdown, frameAck:
 		// envelope and kind byte only
 	default:
@@ -285,6 +330,62 @@ func (r *wireReader) ReadFrame() (*frame, error) {
 		for i := range f.IDs {
 			f.IDs[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
 		}
+		body = body[4*cnt:]
+		if len(body) < 8 {
+			return bad()
+		}
+		f.Worker = int32(binary.LittleEndian.Uint32(body))
+		np := int(binary.LittleEndian.Uint32(body[4:]))
+		body = body[8:]
+		if np < 0 || np > maxFrameBytes/2 {
+			return bad()
+		}
+		if np > 0 {
+			f.Peers = make([]string, np)
+			for i := range f.Peers {
+				if len(body) < 2 {
+					return bad()
+				}
+				al := int(binary.LittleEndian.Uint16(body))
+				body = body[2:]
+				if len(body) < al {
+					return bad()
+				}
+				f.Peers[i] = string(body[:al])
+				body = body[al:]
+			}
+		}
+		if len(body) < 4 {
+			return bad()
+		}
+		ne := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if ne < 0 || len(body) < 4*ne {
+			return bad()
+		}
+		if ne > 0 {
+			f.Epochs = make([]uint32, ne)
+			for i := range f.Epochs {
+				f.Epochs[i] = binary.LittleEndian.Uint32(body[4*i:])
+			}
+		}
+		body = body[4*ne:]
+		if len(body) < 4 {
+			return bad()
+		}
+		nm := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if nm < 0 || len(body) < 8*nm {
+			return bad()
+		}
+		if nm > 0 {
+			f.MapIDs = make([]int32, nm)
+			f.MapWorkers = make([]int32, nm)
+			for i := 0; i < nm; i++ {
+				f.MapIDs[i] = int32(binary.LittleEndian.Uint32(body[8*i:]))
+				f.MapWorkers[i] = int32(binary.LittleEndian.Uint32(body[8*i+4:]))
+			}
+		}
 	case frameMsg:
 		if len(body) < 8 {
 			return bad()
@@ -298,7 +399,7 @@ func (r *wireReader) ReadFrame() (*frame, error) {
 		}
 		f.Msg = m
 	case frameReport:
-		if len(body) < 56 {
+		if len(body) < 68 {
 			return bad()
 		}
 		f.Processed = int64(binary.LittleEndian.Uint64(body))
@@ -308,6 +409,23 @@ func (r *wireReader) ReadFrame() (*frame, error) {
 		f.WRetrans = int64(binary.LittleEndian.Uint64(body[32:]))
 		f.WChecksum = int64(binary.LittleEndian.Uint64(body[40:]))
 		f.WDups = int64(binary.LittleEndian.Uint64(body[48:]))
+		f.WDropped = int64(binary.LittleEndian.Uint64(body[56:]))
+		nw := int(binary.LittleEndian.Uint32(body[64:]))
+		body = body[68:]
+		if nw < 0 || len(body) < 16*nw {
+			return bad()
+		}
+		if nw > 0 {
+			f.PeerEmitted = make([]int64, nw)
+			f.PeerProcessed = make([]int64, nw)
+			for i := 0; i < nw; i++ {
+				f.PeerEmitted[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+			}
+			body = body[8*nw:]
+			for i := 0; i < nw; i++ {
+				f.PeerProcessed[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+			}
+		}
 	case frameResume:
 		if len(body) < 21 {
 			return bad()
@@ -321,6 +439,40 @@ func (r *wireReader) ReadFrame() (*frame, error) {
 			return bad()
 		}
 		f.LastSeq = binary.LittleEndian.Uint64(body)
+	case framePeerAddr:
+		if len(body) < 2 {
+			return bad()
+		}
+		al := int(binary.LittleEndian.Uint16(body))
+		if len(body) < 2+al {
+			return bad()
+		}
+		f.Addr = string(body[2 : 2+al])
+	case framePeerHello:
+		if len(body) < 25 {
+			return bad()
+		}
+		f.From = int32(binary.LittleEndian.Uint32(body))
+		f.Session = binary.LittleEndian.Uint64(body[4:])
+		f.Epoch = binary.LittleEndian.Uint32(body[12:])
+		f.LastSeq = binary.LittleEndian.Uint64(body[16:])
+		f.CanReplay = body[24] != 0
+	case framePeerHelloOK:
+		if len(body) < 8 {
+			return bad()
+		}
+		f.LastSeq = binary.LittleEndian.Uint64(body)
+	case framePeerEpoch:
+		if len(body) < 8 {
+			return bad()
+		}
+		f.From = int32(binary.LittleEndian.Uint32(body))
+		f.Epoch = binary.LittleEndian.Uint32(body[4:])
+	case framePeerDown:
+		if len(body) < 4 {
+			return bad()
+		}
+		f.From = int32(binary.LittleEndian.Uint32(body))
 	case framePing, framePong, frameShutdown, frameAck:
 		// envelope and kind byte only
 	default:

@@ -19,11 +19,14 @@ import (
 func kindFixtures() map[frameKind]*frame {
 	return map[frameKind]*frame{
 		frameAssign: {Kind: frameAssign, Session: 77, Epoch: 3,
-			CfgBlob: []byte{1, 2, 3, 4}, IDs: []int32{5, 6, 7}},
+			CfgBlob: []byte{1, 2, 3, 4}, IDs: []int32{5, 6, 7},
+			Worker: 1, Peers: []string{"10.0.0.1:9001", "10.0.0.2:9002"},
+			Epochs: []uint32{0, 2}, MapIDs: []int32{5, 6, 7}, MapWorkers: []int32{0, 1, 1}},
 		frameMsg: {Kind: frameMsg, From: 2, To: 9,
 			Msg: &testMsg{Seq: 11, Pad: []byte("kind table payload")}},
 		frameReport: {Kind: frameReport, Processed: 100, Emitted: 50,
-			WFrames: 9, WResumes: 1, WRetrans: 2, WChecksum: 3, WDups: 4},
+			WFrames: 9, WResumes: 1, WRetrans: 2, WChecksum: 3, WDups: 4,
+			WDropped: 5, PeerEmitted: []int64{0, 12, 7}, PeerProcessed: []int64{0, 3, 9}},
 		frameShutdown: {Kind: frameShutdown},
 		framePing:     {Kind: framePing},
 		framePong:     {Kind: framePong},
@@ -31,6 +34,12 @@ func kindFixtures() map[frameKind]*frame {
 			LastSeq: 41, CanReplay: true},
 		frameResumeOK: {Kind: frameResumeOK, LastSeq: 41},
 		frameAck:      {Kind: frameAck},
+		framePeerAddr: {Kind: framePeerAddr, Addr: "10.0.0.1:9001"},
+		framePeerHello: {Kind: framePeerHello, From: 2, Session: 0x8000 | 77,
+			Epoch: 3, LastSeq: 41, CanReplay: true},
+		framePeerHelloOK: {Kind: framePeerHelloOK, LastSeq: 41},
+		framePeerEpoch:   {Kind: framePeerEpoch, From: 2, Epoch: 4},
+		framePeerDown:    {Kind: framePeerDown, From: 2},
 	}
 }
 

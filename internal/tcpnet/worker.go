@@ -24,11 +24,13 @@ const (
 
 // workerOpts collects RunWorker's optional behaviour.
 type workerOpts struct {
-	dial      func() (net.Conn, error)
-	attempts  int
-	backoff   time.Duration
-	maxFrames int
-	maxBytes  int
+	dial       func() (net.Conn, error)
+	attempts   int
+	backoff    time.Duration
+	maxFrames  int
+	maxBytes   int
+	peerListen string
+	peerWrap   func(net.Conn) net.Conn
 }
 
 // WorkerOption configures RunWorker.
@@ -60,6 +62,27 @@ func WithWorkerRetransmitWindow(frames, bytes int) WorkerOption {
 	return func(o *workerOpts) { o.maxFrames, o.maxBytes = frames, bytes }
 }
 
+// WithWorkerP2P enables the peer-to-peer data plane (see peer.go): the
+// worker opens a data-plane listener on listen (":0" when empty),
+// advertises it to the coordinator as its first frame, and exchanges
+// chunk-bearing messages with other workers over direct connections. The
+// coordinator must be running with WithP2P.
+func WithWorkerP2P(listen string) WorkerOption {
+	return func(o *workerOpts) {
+		if listen == "" {
+			listen = ":0"
+		}
+		o.peerListen = listen
+	}
+}
+
+// WithWorkerPeerChaos interposes wrap on every peer connection this worker
+// dials — the hook the chaos property suite uses to inject faults on
+// worker↔worker links without touching the coordinator link.
+func WithWorkerPeerChaos(wrap func(net.Conn) net.Conn) WorkerOption {
+	return func(o *workerOpts) { o.peerWrap = wrap }
+}
+
 // RunWorker serves one worker process over an established connection: it
 // receives the assignment, constructs its actors, and processes messages
 // until the coordinator shuts it down or the connection closes. It returns
@@ -79,6 +102,9 @@ func RunWorker(conn net.Conn, factory ActorFactory, opts ...WorkerOption) error 
 	o := workerOpts{attempts: DefaultWorkerRedialAttempts, backoff: DefaultWorkerRedialBackoff}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.peerListen != "" {
+		return runWorkerP2P(conn, factory, o)
 	}
 	sess := newSession(0, o.maxFrames, o.maxBytes)
 	w := &worker{
@@ -136,6 +162,13 @@ func RunWorker(conn net.Conn, factory ActorFactory, opts ...WorkerOption) error 
 				if err := w.drainLocal(); err != nil {
 					return err
 				}
+				// A pure ingest batch (build phase) emits nothing to carry
+				// piggyback acks and may not hit a blocking point for the
+				// whole stream; cap the coordinator's retransmit debt.
+				if w.sess.ackDebt() >= ackDebtThreshold {
+					_ = w.enc.WriteFrame(&frame{Kind: frameAck})
+					_ = w.enc.Flush()
+				}
 			case framePing:
 				// Liveness probe; pongs stay outside the processed/emitted
 				// counters so they cannot perturb the quiescence predicate.
@@ -189,6 +222,7 @@ type worker struct {
 	queue    []localDelivery
 	start    time.Time
 	assigned bool
+	p2p      *p2pState // peer-to-peer data plane; nil in star mode
 
 	processed    int64 // cumulative coordinator-delivered frames handled
 	emitted      int64 // cumulative messages written to the coordinator
@@ -226,6 +260,12 @@ func (w *worker) applyAssign(f *frame) error {
 	w.processed, w.emitted = 0, 0
 	w.repProcessed, w.repEmitted = 0, 0
 	w.assigned = true
+	if w.p2p != nil {
+		return w.applyP2PAssign(f)
+	}
+	if f.Worker >= 0 {
+		return errors.New("tcpnet: star worker received a p2p assignment: run the worker with WithWorkerP2P")
+	}
 	return nil
 }
 
@@ -363,16 +403,55 @@ func (w *worker) drainLocal() error {
 // buffered for retransmission, and carries the worker's session stats for
 // the coordinator's run report.
 func (w *worker) report() {
-	if w.processed == w.repProcessed && w.emitted == w.repEmitted && w.resumes == w.repResumes {
+	moved := w.processed != w.repProcessed || w.emitted != w.repEmitted || w.resumes != w.repResumes
+	if p := w.p2p; p != nil && !moved {
+		moved = p.dropped != p.repDropped || p.resumes != p.repResumes ||
+			!int64sEqual(p.peerEmitted, p.repPeerEmitted) ||
+			!int64sEqual(p.peerProcessed, p.repPeerProcessed)
+	}
+	if !moved {
 		return
 	}
+	// WResumes carries only the resumes the coordinator cannot observe
+	// itself: peer-link resumes (dialer end). Coordinator-link resumes are
+	// counted coordinator-side when the resume is accepted — reporting
+	// w.resumes here would double-count them in the folded stats.
 	f := &frame{Kind: frameReport, Processed: w.processed, Emitted: w.emitted,
-		WFrames: w.sess.framesSent(), WResumes: w.resumes, WRetrans: w.retransmitted,
+		WFrames: w.sess.framesSent(), WRetrans: w.retransmitted,
 		WChecksum: w.checksumFails, WDups: w.sess.dupes()}
+	if p := w.p2p; p != nil {
+		f.PeerEmitted, f.PeerProcessed, f.WDropped = p.peerEmitted, p.peerProcessed, p.dropped
+		f.WResumes = p.resumes
+		for _, lk := range p.links {
+			if lk == nil {
+				continue
+			}
+			f.WFrames += lk.sess.framesSent()
+			f.WDups += lk.sess.dupes()
+		}
+	}
 	if err := w.enc.WriteFrame(f); err != nil && w.fatal == nil {
 		w.fatal = fmt.Errorf("tcpnet: worker report: %w", err)
 	}
 	w.repProcessed, w.repEmitted, w.repResumes = w.processed, w.emitted, w.resumes
+	if p := w.p2p; p != nil {
+		p.repDropped, p.repResumes = p.dropped, p.resumes
+		p.repPeerEmitted = append(p.repPeerEmitted[:0], p.peerEmitted...)
+		p.repPeerProcessed = append(p.repPeerProcessed[:0], p.peerProcessed...)
+	}
+}
+
+// int64sEqual reports whether two counter arrays hold the same values.
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // workerEnv implements runtime.Env for worker-hosted actors.
@@ -397,6 +476,14 @@ func (e *workerEnv) Send(to rt.NodeID, m rt.Message) {
 	if _, local := e.w.actors[to]; local {
 		e.w.queue = append(e.w.queue, localDelivery{from: e.self, to: to, msg: m})
 		return
+	}
+	if p := e.w.p2p; p != nil {
+		if j, owned := p.owner[to]; owned && j != p.self {
+			// Chunk-bearing worker→worker traffic: the data plane, directly
+			// to the owner instead of relaying through the coordinator.
+			e.w.sendPeer(j, e.self, to, m)
+			return
+		}
 	}
 	if err := e.w.enc.WriteFrame(&frame{Kind: frameMsg, From: int32(e.self), To: int32(to), Msg: m}); err != nil {
 		if e.w.fatal == nil {
