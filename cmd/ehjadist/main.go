@@ -26,6 +26,7 @@ import (
 
 	"ehjoin/internal/core"
 	"ehjoin/internal/datagen"
+	"ehjoin/internal/metrics"
 	rt "ehjoin/internal/runtime"
 	"ehjoin/internal/tcpnet"
 	"ehjoin/internal/wire"
@@ -44,6 +45,9 @@ func main() {
 		rTuples      = flag.Int64("r", 200_000, "build relation cardinality")
 		sTuples      = flag.Int64("s", 200_000, "probe relation cardinality")
 		budget       = flag.Int64("budget", 4<<20, "per-node hash memory budget in bytes")
+		distName     = flag.String("dist", "uniform", "build-side key distribution: uniform|gaussian|zipf (probe mirrors the build via the correlated stream when zipf)")
+		zipfS        = flag.Float64("zipf-s", 1.5, "zipf exponent s")
+		heavyThresh  = flag.Float64("heavy-threshold", 0, "heavy-hitter mass threshold as a fraction of the build relation (0 = off): replicate heavy build keys, partition their probes")
 		kill         = flag.String("kill", "", "kill spawned worker W at T seconds wall time, format W@T (fault-injection demo; needs -spawn)")
 		recover_     = flag.Bool("recover", false, "survive worker deaths: re-stream lost state via the scheduler instead of aborting")
 		wireMode     = flag.String("wire", "binary", "message encoding on the wire: binary|gob")
@@ -92,18 +96,32 @@ func main() {
 		// (joind -cores 0, or the spawned-worker path below).
 		*cores = runtime.GOMAXPROCS(0)
 	}
+	dist, err := datagen.ParseDist(*distName)
+	if err != nil {
+		fatal(err)
+	}
+	build := datagen.Spec{Dist: dist, ZipfS: *zipfS, Mean: 0.5, Sigma: 0.001, Tuples: *rTuples, Seed: 1}
+	probe := datagen.Spec{Dist: dist, ZipfS: *zipfS, Mean: 0.5, Sigma: 0.001, Tuples: *sTuples, Seed: 2}
+	if dist == datagen.Zipf {
+		// Mirror the build stream so probe skew lands on the keys the
+		// build actually made heavy.
+		probe.Dist = datagen.Correlated
+	} else if dist == datagen.Correlated {
+		fatal(fmt.Errorf("correlated is probe-only; pick the build distribution (-dist zipf implies a correlated probe)"))
+	}
 	cfg := core.Config{
-		Algorithm:     alg,
-		InitialNodes:  *initial,
-		MaxNodes:      *maxNodes,
-		Sources:       2,
-		MemoryBudget:  *budget,
-		ChunkTuples:   1000,
-		Cores:         *cores,
-		SpillEnabled:  *spillRung,
-		Build:         datagen.Spec{Dist: datagen.Uniform, Tuples: *rTuples, Seed: 1},
-		Probe:         datagen.Spec{Dist: datagen.Uniform, Tuples: *sTuples, Seed: 2},
-		MatchFraction: 1.0,
+		Algorithm:      alg,
+		InitialNodes:   *initial,
+		MaxNodes:       *maxNodes,
+		Sources:        2,
+		MemoryBudget:   *budget,
+		ChunkTuples:    1000,
+		Cores:          *cores,
+		SpillEnabled:   *spillRung,
+		HeavyThreshold: *heavyThresh,
+		Build:          build,
+		Probe:          probe,
+		MatchFraction:  1.0,
 	}
 
 	if _, err := tcpnet.ParseChaos(*chaos); err != nil {
@@ -238,6 +256,11 @@ func main() {
 	if report.Cores > 1 {
 		fmt.Printf("ehjadist: %d cores/node, %d morsels, pool utilization %.0f%%\n",
 			report.Cores, report.PoolMorsels, 100*report.PoolUtilization)
+	}
+	if report.HeavyKeys > 0 {
+		fmt.Printf("ehjadist: %d heavy key(s): %d build tuples replicated, %d probes partitioned, probe max/mean %.2f\n",
+			report.HeavyKeys, report.HeavyCopies, report.HeavyProbeTuples,
+			metrics.MaxMeanRatio(report.NodeProbeLoads))
 	}
 	if report.SpilledPartitions > 0 {
 		fmt.Printf("ehjadist: spilled %d partition(s) to disk (%d KB), degradation rung %d\n",

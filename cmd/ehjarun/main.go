@@ -70,17 +70,6 @@ func parseFaults(s string) (core.FaultPlan, error) {
 	return plan, nil
 }
 
-func parseDist(s string) (datagen.Dist, error) {
-	switch s {
-	case "uniform":
-		return datagen.Uniform, nil
-	case "gaussian", "normal":
-		return datagen.Gaussian, nil
-	default:
-		return 0, fmt.Errorf("unknown distribution %q (uniform|gaussian)", s)
-	}
-}
-
 func main() {
 	var (
 		algName     = flag.String("alg", "hybrid", "join algorithm: split|replication|hybrid|ooc")
@@ -90,9 +79,11 @@ func main() {
 		rTuples     = flag.Int64("r", 1_000_000, "build relation cardinality")
 		sTuples     = flag.Int64("s", 1_000_000, "probe relation cardinality")
 		tupleSize   = flag.Int("tuple", 100, "logical tuple size in bytes")
-		distName    = flag.String("dist", "uniform", "join-attribute distribution: uniform|gaussian")
+		distName    = flag.String("dist", "uniform", "join-attribute distribution: uniform|gaussian|zipf")
+		probeDist   = flag.String("probe-dist", "", "probe-side distribution override: uniform|gaussian|zipf|correlated (default: same as -dist; correlated mirrors the build stream)")
 		sigma       = flag.Float64("sigma", 0.001, "gaussian standard deviation")
 		mean        = flag.Float64("mean", 0.5, "gaussian mean")
+		zipfS       = flag.Float64("zipf-s", 1.5, "zipf exponent s (rank r has mass proportional to r^-s)")
 		budget      = flag.Int64("budget", 64<<20, "per-node hash memory budget in bytes")
 		match       = flag.Float64("match", 1.0, "fraction of probe tuples matching the build relation")
 		seed        = flag.Uint64("seed", 1, "generation seed")
@@ -105,6 +96,8 @@ func main() {
 		faults      = flag.String("faults", "", "crash join nodes at virtual times: NODE@ATSEC[:DETECTSEC],... (e.g. 0@1.5,3@2:0.05)")
 		cores       = flag.Int("cores", 1, "intra-node morsel parallelism per join node (0 = GOMAXPROCS)")
 		spillRung   = flag.Bool("spill", false, "evict partitions to node-local disk instead of aborting when the cluster is exhausted (fourth degradation rung)")
+		heavy       = flag.Bool("heavy", false, "detect heavy-hitter keys after the build and replicate them across their serving group, partitioning their probes instead of broadcasting (DESIGN.md §11)")
+		heavyThresh = flag.Float64("heavy-threshold", 0, "heavy-hitter mass threshold as a fraction of the build relation (0 with -heavy: 1/(2·initial nodes))")
 	)
 	flag.Parse()
 
@@ -113,10 +106,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ehjarun:", err)
 		os.Exit(2)
 	}
-	dist, err := parseDist(*distName)
+	dist, err := datagen.ParseDist(*distName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ehjarun:", err)
 		os.Exit(2)
+	}
+	if dist == datagen.Correlated {
+		fmt.Fprintln(os.Stderr, "ehjarun: correlated is probe-only; use -probe-dist correlated")
+		os.Exit(2)
+	}
+	pDist := dist
+	if *probeDist != "" {
+		if pDist, err = datagen.ParseDist(*probeDist); err != nil {
+			fmt.Fprintln(os.Stderr, "ehjarun:", err)
+			os.Exit(2)
+		}
+	}
+	threshold := *heavyThresh
+	if threshold == 0 && *heavy {
+		threshold = 1 / (2 * float64(*initial))
 	}
 
 	space := hashfn.DefaultSpace()
@@ -152,12 +160,13 @@ func main() {
 		OOCPolicy:         policy,
 		MaterializeOutput: *materialize,
 		SpillEnabled:      *spillRung,
+		HeavyThreshold:    threshold,
 		Build: datagen.Spec{
-			Dist: dist, Mean: *mean, Sigma: *sigma,
+			Dist: dist, Mean: *mean, Sigma: *sigma, ZipfS: *zipfS,
 			Tuples: *rTuples, Seed: *seed, Layout: layout,
 		},
 		Probe: datagen.Spec{
-			Dist: dist, Mean: *mean, Sigma: *sigma,
+			Dist: pDist, Mean: *mean, Sigma: *sigma, ZipfS: *zipfS,
 			Tuples: *sTuples, Seed: *seed + 1, Layout: layout,
 		},
 		MatchFraction: *match,
@@ -231,7 +240,11 @@ func main() {
 			if i < len(r.NodeCPUSecs) {
 				util = fmt.Sprintf("  cpu %6.2fs  disk %6.2fs", r.NodeCPUSecs[i], r.NodeDiskSecs[i])
 			}
-			fmt.Printf("  node %2d: %9d tuples%s\n", i, l, util)
+			var probes string
+			if i < len(r.NodeProbeLoads) {
+				probes = fmt.Sprintf("  probes %9d", r.NodeProbeLoads[i])
+			}
+			fmt.Printf("  node %2d: %9d tuples%s%s\n", i, l, probes, util)
 			if i < len(r.NodeShardLoads) && r.Cores > 1 {
 				fmt.Printf("           shards %v\n", r.NodeShardLoads[i])
 			}

@@ -56,6 +56,19 @@ func Execute(cfg Config, eng rt.Engine) (*Report, error) {
 		reshuffleEnd = eng.NowSeconds()
 	}
 
+	// Phase 2.5: heavy-hitter detection (DESIGN.md §11). Runs on the
+	// drained post-build (and post-reshuffle) cluster, so the histograms
+	// are final and every process holds the same routing table; the
+	// normalizer has already cleared the threshold for the out-of-core
+	// baseline.
+	if cfg.HeavyThreshold > 0 {
+		eng.Inject(cfg.schedulerID(), &detectHeavy{})
+		if err := eng.Drain(); err != nil {
+			return nil, fmt.Errorf("core: heavy-hitter detection: %w", err)
+		}
+		reshuffleEnd = eng.NowSeconds()
+	}
+
 	// Phase 3: probing (plus, for OOC, the local out-of-core joins).
 	eng.Inject(cfg.schedulerID(), &startProbe{})
 	if err := eng.Drain(); err != nil {
@@ -148,6 +161,7 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		RestreamedChunks: sched.restreamedChunks,
 		RestreamedTuples: sched.restreamedTuples,
 		Degraded:         sched.degraded || sched.recoveryFailed,
+		HeavyKeys:        int64(len(sched.heavyKeys)),
 		Events:           sched.events,
 	}
 	if cfg.Cores > 1 {
@@ -180,6 +194,9 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		r.FinalNodes++
 		stored += j.Stored
 		r.NodeLoads = append(r.NodeLoads, j.Stored)
+		r.NodeProbeLoads = append(r.NodeProbeLoads, j.ProbeTuples)
+		r.HeavyCopies += j.HeavyCopies
+		r.HeavyProbeTuples += j.HeavyProbeTuples
 		if hasUtil {
 			r.NodeCPUSecs = append(r.NodeCPUSecs, util.NodeCPUSeconds(cfg.joinID(i)))
 			r.NodeDiskSecs = append(r.NodeDiskSecs, util.NodeDiskSeconds(cfg.joinID(i)))

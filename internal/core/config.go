@@ -124,6 +124,14 @@ type Config struct {
 	// supported together with MaterializeOutput: materialised output and
 	// probe-phase table clones cannot carry spilled state.
 	SpillEnabled bool
+	// HeavyThreshold arms heavy-hitter routing (DESIGN.md §11): after the
+	// build (and any reshuffle), keys whose build mass strictly exceeds
+	// HeavyThreshold × |R| are replicated build-side across their serving
+	// group and their probe tuples partitioned round-robin over it instead
+	// of broadcast. 0 disables the round. The out-of-core baseline ignores
+	// it (routing never expands there, and spilled state cannot host key
+	// replicas). cmd flag -heavy defaults this to 1/(2·InitialNodes).
+	HeavyThreshold float64
 	// MaterializeOutput makes join nodes retain their matches in memory
 	// (as a downstream in-memory operator would require) instead of
 	// streaming them out. Accumulated output then competes with the hash
@@ -228,6 +236,10 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.Algorithm == OutOfCore {
 		c.SpillEnabled = false // the baseline is already fully spilling
+		c.HeavyThreshold = 0   // no routing to bend: state lives in spill files
+	}
+	if c.HeavyThreshold < 0 || c.HeavyThreshold >= 1 {
+		return c, fmt.Errorf("core: HeavyThreshold %v outside [0,1)", c.HeavyThreshold)
 	}
 	if c.SpillEnabled && c.MaterializeOutput {
 		return c, fmt.Errorf("core: SpillEnabled is not supported with MaterializeOutput")

@@ -45,6 +45,68 @@ func TestRandomizedShardedConfigurations(t *testing.T) {
 	}
 }
 
+// TestRandomizedHeavyConfigurations sweeps the skew matrix: Zipf builds at
+// random exponents, Zipf or fully correlated probes, random heavy
+// thresholds — every run must still produce exactly the reference join
+// result, whatever mix of splits, replication chains, reshuffles, and
+// heavy replication the draw provokes.
+func TestRandomizedHeavyConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep skipped in -short mode")
+	}
+	iterations := 30
+	if raceEnabled {
+		iterations = 12
+	}
+	rng := rand.New(rand.NewSource(20260704 + 2))
+	for it := 0; it < iterations; it++ {
+		algs := []Algorithm{Split, Replication, Hybrid}
+		alg := algs[rng.Intn(len(algs))]
+		maxNodes := 2 + rng.Intn(10)
+		zipfS := 1.05 + 0.7*rng.Float64()
+		build := datagen.Spec{
+			Dist: datagen.Zipf, ZipfS: zipfS,
+			Tuples: int64(5_000 + rng.Intn(25_000)), Seed: uint64(3000 + it),
+		}
+		probe := datagen.Spec{
+			Dist:   datagen.Correlated,
+			Tuples: int64(5_000 + rng.Intn(25_000)), Seed: uint64(4000 + it),
+		}
+		if rng.Intn(2) == 0 {
+			probe.Dist, probe.ZipfS = datagen.Zipf, zipfS
+		}
+		cfg := Config{
+			Algorithm:      alg,
+			InitialNodes:   1 + rng.Intn(maxNodes),
+			MaxNodes:       maxNodes,
+			Sources:        1 + rng.Intn(4),
+			MemoryBudget:   int64(128<<10 + rng.Intn(1<<20)),
+			ChunkTuples:    64 + rng.Intn(2000),
+			Build:          build,
+			Probe:          probe,
+			MatchFraction:  rng.Float64(),
+			HeavyThreshold: []float64{0.005, 0.01, 0.02, 0.05}[rng.Intn(4)],
+		}
+		if rng.Intn(3) == 0 {
+			cfg.SpillEnabled = true
+		}
+		if rng.Intn(4) == 0 {
+			cfg.Cores = []int{2, 4}[rng.Intn(2)]
+		}
+		wantMatches, wantChecksum := referenceJoin(t, cfg)
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("iteration %d (%v, J=%d/%d, s=%.2f, thr=%g): %v",
+				it, alg, cfg.InitialNodes, maxNodes, zipfS, cfg.HeavyThreshold, err)
+		}
+		if r.Matches != wantMatches || r.Checksum != wantChecksum {
+			t.Fatalf("iteration %d (%v, J=%d/%d, s=%.2f, thr=%g): result %d/%#x, want %d/%#x",
+				it, alg, cfg.InitialNodes, maxNodes, zipfS, cfg.HeavyThreshold,
+				r.Matches, r.Checksum, wantMatches, wantChecksum)
+		}
+	}
+}
+
 func fuzzOneConfig(t *testing.T, rng *rand.Rand, it, cores int) {
 	t.Helper()
 	{

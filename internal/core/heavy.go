@@ -1,0 +1,40 @@
+package core
+
+import (
+	"ehjoin/internal/hashfn"
+)
+
+// Heavy-key routing support shared by the scheduler, the join actors, and
+// the data sources (DESIGN.md §11). A detected heavy key is served by a
+// *group* of nodes, each holding the key's complete build-tuple set:
+// probe tuples for the key are partitioned round-robin across the group
+// instead of broadcast (replication chains) or concentrated on one owner
+// (split/hybrid/singleton ranges).
+
+// heavyMinMass returns the absolute mass threshold in tuples: a key is
+// heavy when its build mass strictly exceeds HeavyThreshold × |R|.
+func heavyMinMass(cfg *Config) int64 {
+	return int64(cfg.HeavyThreshold*float64(cfg.Build.Tuples)) + 1
+}
+
+// heavyGroup derives a heavy key's serving group from a routing table:
+// the owners of the key's range when that range is replicated (the chain
+// already spreads the range; partitioned probes just stop amplifying it),
+// otherwise every node in the table (a sole-owner heavy key gets
+// cluster-wide partitioning — the whole point of the heavy path, since
+// no range cut can split one key). Dead nodes are excluded. Every
+// process derives the group from its own current table; tables agree at
+// detection time because detection runs on a drained cluster.
+func heavyGroup(t *hashfn.Table, space hashfn.Space, key uint64) []int32 {
+	owners := t.ProbeOwnersOf(space.PositionOf(key))
+	if len(owners) < 2 {
+		owners = t.Owners()
+	}
+	group := make([]int32, 0, len(owners))
+	for _, o := range owners {
+		if !t.IsDead(o) {
+			group = append(group, o)
+		}
+	}
+	return group
+}

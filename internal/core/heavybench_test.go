@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"ehjoin/internal/datagen"
+	"ehjoin/internal/metrics"
+	rt "ehjoin/internal/runtime"
+)
+
+// benchHeavyConfig is the acceptance workload: Zipf 1.5 build, fully
+// correlated probe stream, four equal workers with memory to spare — the
+// run isolates probe routing, broadcast vs heavy-partitioned.
+func benchHeavyConfig() Config {
+	cfg := Config{
+		Algorithm:     Split,
+		InitialNodes:  4,
+		MaxNodes:      4,
+		Sources:       4,
+		MemoryBudget:  64 << 20,
+		ChunkTuples:   1000,
+		Build:         datagen.Spec{Dist: datagen.Zipf, ZipfS: 1.5, Tuples: 200_000, Seed: 7},
+		Probe:         datagen.Spec{Dist: datagen.Correlated, Tuples: 200_000, Seed: 8},
+		MatchFraction: 1.0,
+	}
+	cfg.Cost = rt.OSUMed()
+	return cfg
+}
+
+// BenchmarkHeavyRouting compares the two probe-routing regimes on the
+// skewed workload. Wall clock measures the simulator; the interesting
+// outputs are the reported virtual metrics — total virtual seconds and
+// the max/mean per-node probe load, the quantity heavy routing exists to
+// flatten.
+func BenchmarkHeavyRouting(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		threshold float64
+	}{{"broadcast", 0}, {"partitioned", 0.005}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var rep *Report
+			for i := 0; i < b.N; i++ {
+				cfg := benchHeavyConfig()
+				cfg.HeavyThreshold = mode.threshold
+				r, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Matches == 0 {
+					b.Fatal("join produced no matches")
+				}
+				rep = r
+			}
+			tuples := float64(200_000 * 2)
+			b.ReportMetric(tuples*float64(b.N)/b.Elapsed().Seconds(), "tuples/sec")
+			b.ReportMetric(rep.TotalSec, "virtual-sec")
+			b.ReportMetric(metrics.MaxMeanRatio(rep.NodeProbeLoads), "probe-max/mean")
+			b.ReportMetric(float64(rep.HeavyKeys), "heavy-keys")
+		})
+	}
+}

@@ -20,6 +20,8 @@ type nodeTable interface {
 	Count() int64
 	Bytes() int64
 	CountsInRange(hashfn.Range) []int64
+	KeyCountsAt([]int32) ([]uint64, []int64)
+	TuplesWithKey(uint64) []tuple.Tuple
 	ExtractRange(hashfn.Range) []tuple.Tuple
 	ExtractMatching(func(tuple.Tuple) bool) []tuple.Tuple
 	ForEach(func(tuple.Tuple))
@@ -63,6 +65,15 @@ type joinActor struct {
 	// matches are forwarded to the next stage instead of being emitted.
 	fw *setForward
 
+	// Heavy-key routing state (DESIGN.md §11). heavySet is nil until this
+	// node's own heavyAssign arrives; heavyClone chunks that race ahead of
+	// it (group peers on other links replicate eagerly) are buffered in
+	// pendingHeavyClones so copies are never re-replicated as originals.
+	heavySet           map[uint64]bool
+	pendingHeavyClones []*tuple.Chunk
+	heavyCopies        int64            // group copies held (excluded from Stored)
+	heavyCopyCount     map[uint64]int64 // per-key copy counts, for purge accounting
+
 	// Probe-phase expansion state (§4 footnote 1, with MaterializeOutput).
 	outputBytes   int64 // accumulated materialised matches
 	probeRetired  bool  // handed the range to a probe-phase recruit
@@ -79,6 +90,7 @@ type joinActor struct {
 	reshuffleOut  int64 // tuples redistributed away by reshuffling
 	splitOpNs     int64 // time attributable to split operations (Figure 5)
 	probeTuples   int64
+	heavyProbes   int64 // probe tuples that arrived via the heavy partitioned path
 	matches       uint64
 	checksum      uint64
 	strayBuild    int64 // build tuples that arrived outside the owned range
@@ -172,6 +184,19 @@ func (j *joinActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 		counts := j.table.CountsInRange(msg.Range)
 		env.ChargeCPU(int64(len(counts)) * 2)
 		env.Send(from, &countResp{Range: msg.Range, Counts: counts})
+	case *keyCountReq:
+		j.onKeyCountReq(env, from, msg)
+	case *heavyAssign:
+		j.onHeavyAssign(env, msg)
+	case *heavyClone:
+		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+		if j.heavySet == nil {
+			// Raced ahead of this node's own heavyAssign; buffer so the
+			// copies are not snapshotted and re-replicated as originals.
+			j.pendingHeavyClones = append(j.pendingHeavyClones, msg.Chunk)
+			return
+		}
+		j.absorbHeavyClone(env, msg.Chunk)
 	case *reshuffleAssign:
 		j.onReshuffle(env, msg)
 	case *finishOOC:
@@ -232,28 +257,115 @@ func (j *joinActor) maybeReleaseHeldProbes(env rt.Env) {
 	}
 }
 
+// onKeyCountReq answers the detection round's second stage: per-key counts
+// at the candidate positions, plus the spill partitions this node has
+// evicted (keys there are exempt from heavy routing — their probes must
+// keep flowing into the rung's probe files).
+func (j *joinActor) onKeyCountReq(env rt.Env, from rt.NodeID, msg *keyCountReq) {
+	keys, counts := j.table.KeyCountsAt(msg.Positions)
+	env.ChargeCPU(j.table.Count() / 4) // one bucket walk
+	resp := &keyCountResp{Keys: keys, Counts: counts}
+	if j.spillRung != nil {
+		for p := 0; p < j.spillRung.Parts(); p++ {
+			if j.spillRung.Spilled(p) {
+				resp.SpilledParts = append(resp.SpilledParts, int32(p))
+			}
+		}
+	}
+	env.Send(from, resp)
+}
+
+// onHeavyAssign installs the detected heavy-key set and replicates this
+// node's own tuples of each heavy key to the rest of the key's group, so
+// every member afterwards holds the key's complete build set and a probe
+// tuple routed to any single member finds exactly the matches a broadcast
+// would have found. Snapshot-then-absorb order matters: clones from group
+// peers may already be buffered (or arrive later), and copies must never
+// be re-replicated — each original is cloned exactly once, by its holder.
+func (j *joinActor) onHeavyAssign(env rt.Env, msg *heavyAssign) {
+	env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+	j.heavySet = make(map[uint64]bool, len(msg.Keys))
+	if j.heavyCopyCount == nil {
+		j.heavyCopyCount = make(map[uint64]int64)
+	}
+	for _, k := range msg.Keys {
+		j.heavySet[k] = true
+	}
+	if j.route != nil {
+		for _, k := range msg.Keys {
+			mine := j.table.TuplesWithKey(k)
+			if len(mine) == 0 {
+				continue
+			}
+			env.ChargeCPU(j.cfg.Cost.MoveNs * int64(len(mine)))
+			for _, o := range heavyGroup(j.route, j.cfg.Space, k) {
+				if dest := rt.NodeID(o); dest != j.id {
+					j.shipHeavyClones(env, dest, mine)
+				}
+			}
+		}
+	}
+	pend := j.pendingHeavyClones
+	j.pendingHeavyClones = nil
+	for _, c := range pend {
+		j.absorbHeavyClone(env, c)
+	}
+}
+
+// shipHeavyClones sends one heavy key's local build tuples to a group peer
+// in chunk-sized heavyClone messages. Like onCloneTable the sender keeps
+// its copy.
+func (j *joinActor) shipHeavyClones(env rt.Env, dest rt.NodeID, ts []tuple.Tuple) {
+	for lo := 0; lo < len(ts); lo += j.cfg.ChunkTuples {
+		hi := lo + j.cfg.ChunkTuples
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		chunk := &tuple.Chunk{Rel: tuple.RelR, Layout: j.cfg.Build.Layout, Tuples: ts[lo:hi]}
+		env.ChargeCPU(j.cfg.Cost.ChunkOverheadNs)
+		env.Send(dest, &heavyClone{Chunk: chunk})
+	}
+}
+
+// absorbHeavyClone stores a group peer's copies. They never trigger
+// checkOverflow: detection runs on a drained cluster after the build, and
+// memory relief for replica weight would re-enter the build-phase protocol
+// the run has already left.
+func (j *joinActor) absorbHeavyClone(env rt.Env, c *tuple.Chunk) {
+	j.insertBatch(env, c.Tuples)
+	j.heavyCopies += int64(len(c.Tuples))
+	if j.heavyCopyCount == nil {
+		j.heavyCopyCount = make(map[uint64]int64)
+	}
+	for _, t := range c.Tuples {
+		j.heavyCopyCount[t.Key]++
+	}
+}
+
 // snapshot captures the node's statistics for the scheduler's collection.
 // Cloned-in tuples are excluded from Stored: they are copies, and the
 // conservation invariant counts each build tuple exactly once (at the node
 // that originally stored it).
 func (j *joinActor) snapshot() *joinStats {
 	s := &joinStats{
-		Active:          j.active,
-		Stored:          j.storedBuildTuples() - j.cloneReceived,
-		OutputBytes:     j.outputBytes,
-		MovedOut:        j.movedOut,
-		ReshuffleOut:    j.reshuffleOut,
-		SplitOpNs:       j.splitOpNs,
-		FwdChunks:       j.fwdChunks,
-		StrayBuild:      j.strayBuild,
-		ProbeTuples:     j.probeTuples,
-		Matches:         j.totalMatches(),
-		Checksum:        j.totalChecksum(),
-		Forwarded:       j.forwarded,
-		ForwardedCopies: j.forwardCopies,
-		NoMoreNodes:     j.noMoreNodes,
-		Purged:          j.purged,
-		DroppedStale:    j.droppedStale,
+		Active:           j.active,
+		Stored:           j.storedBuildTuples() - j.cloneReceived - j.heavyCopies,
+		OutputBytes:      j.outputBytes,
+		MovedOut:         j.movedOut,
+		ReshuffleOut:     j.reshuffleOut,
+		SplitOpNs:        j.splitOpNs,
+		FwdChunks:        j.fwdChunks,
+		StrayBuild:       j.strayBuild,
+		ProbeTuples:      j.probeTuples,
+		Matches:          j.totalMatches(),
+		Checksum:         j.totalChecksum(),
+		Forwarded:        j.forwarded,
+		ForwardedCopies:  j.forwardCopies,
+		NoMoreNodes:      j.noMoreNodes,
+		Purged:           j.purged,
+		DroppedStale:     j.droppedStale,
+		HeavyCopies:      j.heavyCopies,
+		HeavyProbeTuples: j.heavyProbes,
 	}
 	if j.spill != nil {
 		s.SpillWrittenBytes = j.spill.SpillWrittenBytes
@@ -293,6 +405,18 @@ func (j *joinActor) onPurgeRange(env rt.Env, msg *purgeRange) {
 	dropped := j.table.ExtractRange(msg.Range)
 	env.ChargeCPU(j.cfg.Cost.MoveNs * int64(len(dropped)))
 	j.purged += int64(len(dropped))
+	// Heavy-key copies inside the purged range are gone too; keep the
+	// conservation ledger consistent. (Purges fire only during build-phase
+	// recovery, which precedes detection, so this is purely defensive.)
+	for _, k := range sortedCopyKeys(j.heavyCopyCount) {
+		if !msg.Range.Contains(j.cfg.Space.PositionOf(k)) {
+			continue
+		}
+		n := j.heavyCopyCount[k]
+		j.heavyCopies -= n
+		j.purged -= n
+		delete(j.heavyCopyCount, k)
+	}
 	if j.spillRung != nil {
 		j.purged += j.spillRung.PurgeRange(msg.Range)
 	}
@@ -697,6 +821,13 @@ func (j *joinActor) onProbeChunk(env rt.Env, c *tuple.Chunk) {
 		return
 	}
 	j.probeTuples += int64(len(c.Tuples))
+	if j.heavySet != nil {
+		for _, t := range c.Tuples {
+			if j.heavySet[t.Key] {
+				j.heavyProbes++
+			}
+		}
+	}
 	if j.spill != nil {
 		for _, t := range c.Tuples {
 			j.spill.Probe(env, t)

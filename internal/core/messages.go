@@ -285,6 +285,62 @@ type replayDone struct {
 
 func (*replayDone) WireSize() int { return ctrlBytes }
 
+// detectHeavy starts the heavy-hitter detection round (injected by the
+// orchestrator after the build phase — and, for hybrid, the reshuffle —
+// when Config.HeavyThreshold > 0). The scheduler gathers the global
+// per-position histogram, reduces it to candidate positions, asks the
+// nodes for per-key counts there, and routes the keys above threshold
+// through the replicate-build/partition-probe path (DESIGN.md §11).
+type detectHeavy struct{}
+
+func (*detectHeavy) WireSize() int { return ctrlBytes }
+
+// keyCountReq asks a join node for its per-key tuple counts at the
+// candidate heavy positions.
+type keyCountReq struct {
+	Positions []int32
+}
+
+func (m *keyCountReq) WireSize() int { return ctrlBytes + 4*len(m.Positions) }
+
+// keyCountResp returns the node's per-key counts (sorted by key) at the
+// requested positions, plus every spill partition the node has evicted
+// (rung 4): a key living in a partition that is spilled anywhere is
+// exempt from heavy routing, because its probe tuples must keep flowing
+// into that node's probe files for the Grace finish.
+type keyCountResp struct {
+	Keys         []uint64
+	Counts       []int64
+	SpilledParts []int32
+}
+
+func (m *keyCountResp) WireSize() int {
+	return ctrlBytes + 16*len(m.Keys) + 4*len(m.SpilledParts)
+}
+
+// heavyAssign distributes the detected heavy-key set (sorted ascending)
+// to every data source and join node: the new wire frame carrying heavy
+// assignments. Receivers derive each key's owner group from their current
+// routing table, so the frame itself stays table-free; nodes owning a
+// heavy key replicate its build tuples to the rest of the group, and
+// sources thereafter partition the key's probe tuples round-robin across
+// the group instead of broadcasting.
+type heavyAssign struct {
+	Keys []uint64
+}
+
+func (m *heavyAssign) WireSize() int { return ctrlBytes + 8*len(m.Keys) }
+
+// heavyClone carries one owner's build tuples of a heavy key to another
+// member of the key's group. Like cloneTuples the sender keeps its copy;
+// the recipient accounts the tuples as heavy copies, excluded from its
+// Stored conservation figure.
+type heavyClone struct {
+	Chunk *tuple.Chunk
+}
+
+func (m *heavyClone) WireSize() int { return 16 + m.Chunk.LogicalBytes() }
+
 // collectStats (injected by the orchestrator after the final phase) makes
 // the scheduler gather per-node statistics from every source and join node.
 type collectStats struct{}
@@ -319,6 +375,8 @@ type joinStats struct {
 	SpillBytes        int64 // bytes the spill rung wrote to local disk
 	Purged            int64 // tuples discarded by failure-recovery purges
 	DroppedStale      int64 // stale tuples discarded at re-stream barriers
+	HeavyCopies       int64 // heavy-key build tuples received as group copies
+	HeavyProbeTuples  int64 // probe tuples routed via the heavy partitioned path
 
 	// Sharded-core execution statistics (Config.Cores > 1 only).
 	ShardLoads []int64 // per-shard stored build tuples (occupancy)

@@ -20,6 +20,8 @@ const (
 	wireCloneTuples = 4
 	wireSpillOrder  = 5
 	wireSpillAck    = 6
+	wireHeavyAssign = 7
+	wireHeavyClone  = 8
 )
 
 func init() {
@@ -131,5 +133,45 @@ func init() {
 				Partitions: int64(binary.LittleEndian.Uint64(data)),
 				Bytes:      int64(binary.LittleEndian.Uint64(data[8:])),
 			}, nil
+		})
+
+	// heavyAssign: [8B key]... — the heavy-key set, sorted ascending. The
+	// frame is table-free by design (receivers derive each key's group from
+	// their own routing table), so the layout is just the key list.
+	wire.Register(wireHeavyAssign, &heavyAssign{},
+		func(buf []byte, m rt.Message) []byte {
+			for _, k := range m.(*heavyAssign).Keys {
+				buf = binary.LittleEndian.AppendUint64(buf, k)
+			}
+			return buf
+		},
+		func(data []byte) (rt.Message, error) {
+			if len(data)%8 != 0 {
+				return nil, fmt.Errorf("core: heavyAssign payload has %d bytes, want a multiple of 8", len(data))
+			}
+			a := &heavyAssign{}
+			if n := len(data) / 8; n > 0 {
+				a.Keys = make([]uint64, n)
+				for i := range a.Keys {
+					a.Keys[i] = binary.LittleEndian.Uint64(data[8*i:])
+				}
+			}
+			return a, nil
+		})
+
+	// heavyClone: [chunk]
+	wire.Register(wireHeavyClone, &heavyClone{},
+		func(buf []byte, m rt.Message) []byte {
+			return m.(*heavyClone).Chunk.AppendBinary(buf)
+		},
+		func(data []byte) (rt.Message, error) {
+			c, n, err := tuple.DecodeBinary(data)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode heavyClone: %w", err)
+			}
+			if n != len(data) {
+				return nil, fmt.Errorf("core: heavyClone has %d trailing bytes", len(data)-n)
+			}
+			return &heavyClone{Chunk: c}, nil
 		})
 }

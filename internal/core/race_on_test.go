@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the test binary carries the race detector.
+// Race-instrumented joins run roughly an order of magnitude slower, so the
+// widest differential sweeps trim their repetition counts under race —
+// every algorithm × scenario cell still runs, only extra seeds are dropped.
+const raceEnabled = true

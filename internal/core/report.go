@@ -77,6 +77,20 @@ type Report struct {
 	LoadMaxChunks float64
 	LoadMinChunks float64
 
+	// Heavy-hitter routing activity (HeavyThreshold > 0 runs; DESIGN.md
+	// §11). HeavyKeys counts the keys the detection round promoted to
+	// replicate-build / partition-probe routing; HeavyCopies the build
+	// tuples replicated to group peers for them; HeavyProbeTuples the probe
+	// tuples that reached a node through the partitioned path instead of a
+	// broadcast or a single-owner hop.
+	HeavyKeys        int64
+	HeavyCopies      int64
+	HeavyProbeTuples int64
+	// NodeProbeLoads is each participating node's processed probe-tuple
+	// count, parallel to NodeLoads — the per-node probe pressure whose
+	// max/mean ratio heavy routing flattens under skew.
+	NodeProbeLoads []int64
+
 	// Out-of-core activity.
 	SpillWrittenBytes int64
 	SpillReadBytes    int64
@@ -180,6 +194,10 @@ func (r *Report) String() string {
 	if r.SpilledPartitions > 0 {
 		s += fmt.Sprintf(" spilled %d partitions (%d KB)",
 			r.SpilledPartitions, r.SpillBytes>>10)
+	}
+	if r.HeavyKeys > 0 {
+		s += fmt.Sprintf(" heavy %d keys (%d replicated, %d probes partitioned, probe max/mean %.2f)",
+			r.HeavyKeys, r.HeavyCopies, r.HeavyProbeTuples, metrics.MaxMeanRatio(r.NodeProbeLoads))
 	}
 	if r.DegradationRung > 0 {
 		s += fmt.Sprintf(" degradation rung %d", r.DegradationRung)

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"sort"
+
 	"ehjoin/internal/hashfn"
+	"ehjoin/internal/hashtable"
 	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/spill"
 )
 
 // phase tracks where the run is in its lifecycle.
@@ -11,6 +15,10 @@ type phase uint8
 const (
 	phaseBuild phase = iota
 	phaseReshuffle
+	// phaseDetect is the heavy-hitter detection round between build (and,
+	// for hybrid, reshuffle) and probe: histogram gather → key counts at
+	// candidate positions → heavyAssign (DESIGN.md §11).
+	phaseDetect
 	phaseProbe
 )
 
@@ -42,6 +50,18 @@ type schedActor struct {
 
 	// Reshuffle state: per replicated group, the accumulated counts.
 	pendingGroups map[int]*groupState // keyed by entry range low
+
+	// Heavy-hitter detection state (phaseDetect). detectCounts is the
+	// global per-position histogram being summed; keyCounts the global
+	// per-key masses at the candidate positions; taintedParts the union of
+	// spill partitions any node has evicted (keys there stay on normal
+	// routing so the Grace finish still sees their probes).
+	detectWant   int
+	detectCounts []int64
+	keyWant      int
+	keyCounts    map[uint64]int64
+	taintedParts map[int]bool
+	heavyKeys    []uint64 // final detected set, sorted ascending
 
 	sourcesDone int
 
@@ -149,8 +169,16 @@ func (sc *schedActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 	case *doReshuffle:
 		sc.phase = phaseReshuffle
 		sc.startReshuffle(env)
+	case *detectHeavy:
+		sc.startDetect(env)
 	case *countResp:
-		sc.onCounts(env, from, msg)
+		if sc.phase == phaseDetect {
+			sc.onDetectCounts(env, msg)
+		} else {
+			sc.onCounts(env, from, msg)
+		}
+	case *keyCountResp:
+		sc.onKeyCounts(env, msg)
 	case *startProbe:
 		// Injected by the orchestrator: broadcast the final routing table
 		// and move every source to the probe phase.
@@ -526,6 +554,111 @@ func (sc *schedActor) finishGroup(env rt.Env, g *groupState) {
 		delete(sc.fullSet, member)
 	}
 	sc.broadcastRoute(env, g.members...)
+}
+
+// startDetect begins heavy-hitter detection: gather the global
+// per-position histogram from every working node. Runs on a drained
+// cluster (after build and any reshuffle), so the histograms are final.
+func (sc *schedActor) startDetect(env rt.Env) {
+	sc.phase = phaseDetect
+	full := hashfn.Range{Lo: 0, Hi: sc.cfg.Space.Positions()}
+	sc.detectCounts = make([]int64, full.Width())
+	sc.detectWant = len(sc.working)
+	for _, n := range sc.working {
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(n, &countReq{Range: full})
+	}
+}
+
+// onDetectCounts folds one node's full-space histogram into the global
+// sum; when complete, it reduces the histogram to candidate positions
+// (sound pruning: all tuples of one key share one position, so key mass
+// never exceeds position mass) and asks every node for per-key counts
+// there. No candidates means no possible heavy key — detection ends.
+func (sc *schedActor) onDetectCounts(env rt.Env, msg *countResp) {
+	for i, c := range msg.Counts {
+		sc.detectCounts[i] += c
+	}
+	sc.detectWant--
+	if sc.detectWant > 0 {
+		return
+	}
+	positions := hashtable.HeavyPositions(sc.detectCounts, 0, heavyMinMass(&sc.cfg))
+	sc.detectCounts = nil
+	if len(positions) == 0 {
+		return
+	}
+	sc.keyWant = len(sc.working)
+	sc.keyCounts = make(map[uint64]int64)
+	sc.taintedParts = make(map[int]bool)
+	for _, n := range sc.working {
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(n, &keyCountReq{Positions: positions})
+	}
+}
+
+// onKeyCounts folds one node's per-key counts and spill taint into the
+// global view; when complete, the keys above threshold (minus the
+// spill-tainted ones) become the heavy set, broadcast to every source
+// and node as a heavyAssign.
+func (sc *schedActor) onKeyCounts(env rt.Env, msg *keyCountResp) {
+	if sc.phase != phaseDetect || sc.keyWant == 0 {
+		return
+	}
+	for i, k := range msg.Keys {
+		sc.keyCounts[k] += msg.Counts[i]
+	}
+	for _, p := range msg.SpilledParts {
+		sc.taintedParts[int(p)] = true
+	}
+	sc.keyWant--
+	if sc.keyWant > 0 {
+		return
+	}
+	sc.finishDetect(env)
+}
+
+// finishDetect computes the final heavy set and distributes it.
+func (sc *schedActor) finishDetect(env rt.Env) {
+	min := heavyMinMass(&sc.cfg)
+	candidates := make([]uint64, 0, len(sc.keyCounts))
+	for k := range sc.keyCounts {
+		candidates = append(candidates, k)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	var heavy []uint64
+	for _, k := range candidates {
+		if sc.keyCounts[k] < min {
+			continue
+		}
+		if len(sc.taintedParts) > 0 && sc.taintedParts[spill.PartitionOf(k, sc.cfg.SpillPartitions)] {
+			continue // rung 4 owns this key's probes; leave routing alone
+		}
+		heavy = append(heavy, k)
+		p := sc.cfg.Space.PositionOf(k)
+		idx := sc.table.EntryIndexOf(p)
+		sc.events = append(sc.events, ExpansionEvent{
+			Kind:  "heavy",
+			Node:  rt.NodeID(sc.table.BuildOwnerOf(p)),
+			Peer:  rt.NoNode,
+			Range: sc.table.Entries[idx].Range,
+			Bytes: sc.keyCounts[k],
+		})
+	}
+	sc.keyCounts = nil
+	sc.taintedParts = nil
+	sc.heavyKeys = heavy
+	if len(heavy) == 0 {
+		return
+	}
+	for i := 0; i < sc.cfg.Sources; i++ {
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(sc.cfg.sourceID(i), &heavyAssign{Keys: append([]uint64(nil), heavy...)})
+	}
+	for _, n := range sc.working {
+		env.ChargeCPU(sc.cfg.Cost.ChunkOverheadNs / 4)
+		env.Send(n, &heavyAssign{Keys: append([]uint64(nil), heavy...)})
+	}
 }
 
 // onNodeDead handles a declared worker death. During the build phase the

@@ -39,6 +39,14 @@ type sourceActor struct {
 	stalled  bool // generation paused on backpressure
 	doneSent bool
 
+	// Heavy-key routing state (DESIGN.md §11): the detected heavy set, the
+	// per-key round-robin counters spreading each heavy key's probe tuples
+	// across its serving group, and a per-key group memo invalidated on
+	// every routing-table change.
+	heavySet    map[uint64]bool
+	heavyRR     map[uint64]int
+	heavyGroups map[uint64][]int32
+
 	// stats
 	chunksSent       int64
 	probeExtraCopies int64 // probe tuples duplicated beyond their first copy
@@ -81,6 +89,13 @@ func (s *sourceActor) Receive(env rt.Env, from rt.NodeID, m rt.Message) {
 		s.adoptTable(env, msg.Table)
 	case *replayRange:
 		s.onReplay(env, msg)
+	case *heavyAssign:
+		s.heavySet = make(map[uint64]bool, len(msg.Keys))
+		for _, k := range msg.Keys {
+			s.heavySet[k] = true
+		}
+		s.heavyRR = make(map[uint64]int, len(msg.Keys))
+		s.heavyGroups = nil
 	case *statsReq:
 		env.Send(from, &sourceStats{
 			ChunksSent:       s.chunksSent,
@@ -131,11 +146,7 @@ func (s *sourceActor) step(env rt.Env) {
 		if s.phase == tuple.RelR {
 			s.route(env, rt.NodeID(s.table.BuildOwnerOf(p)), t, layout)
 		} else {
-			owners := s.table.ProbeOwnersOf(p)
-			for _, o := range owners {
-				s.route(env, rt.NodeID(o), t, layout)
-			}
-			s.probeExtraCopies += int64(len(owners) - 1)
+			s.routeProbe(env, t, p, layout)
 		}
 	}
 	if s.next >= s.slice.Hi {
@@ -165,6 +176,35 @@ func (s *sourceActor) backpressured() bool {
 		}
 	}
 	return false
+}
+
+// routeProbe routes one probe tuple. A heavy key's tuple goes to exactly
+// one member of the key's serving group, round-robin — every member holds
+// the key's complete build set after the replication round, so one copy
+// finds exactly the matches a broadcast would have. Everything else
+// broadcasts to the range's probe owners as usual.
+func (s *sourceActor) routeProbe(env rt.Env, t tuple.Tuple, p int, layout tuple.Layout) {
+	if s.heavySet != nil && s.heavySet[t.Key] {
+		group, ok := s.heavyGroups[t.Key]
+		if !ok {
+			group = heavyGroup(s.table, s.cfg.Space, t.Key)
+			if s.heavyGroups == nil {
+				s.heavyGroups = make(map[uint64][]int32)
+			}
+			s.heavyGroups[t.Key] = group
+		}
+		if len(group) > 0 {
+			i := s.heavyRR[t.Key]
+			s.heavyRR[t.Key] = i + 1
+			s.route(env, rt.NodeID(group[i%len(group)]), t, layout)
+			return
+		}
+	}
+	owners := s.table.ProbeOwnersOf(p)
+	for _, o := range owners {
+		s.route(env, rt.NodeID(o), t, layout)
+	}
+	s.probeExtraCopies += int64(len(owners) - 1)
 }
 
 func (s *sourceActor) route(env rt.Env, dest rt.NodeID, t tuple.Tuple, layout tuple.Layout) {
@@ -233,6 +273,7 @@ func (s *sourceActor) adoptTable(env rt.Env, t *hashfn.Table) {
 		s.builders = make(map[rt.NodeID]*tuple.Builder)
 	}
 	s.table = t
+	s.heavyGroups = nil // groups derive from the table; recompute lazily
 	for _, d := range t.Dead {
 		dest := rt.NodeID(d)
 		delete(s.queue, dest)

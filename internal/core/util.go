@@ -32,6 +32,17 @@ func sortedGroupKeys(m map[int]*groupState) []int {
 	return out
 }
 
+// sortedCopyKeys returns a heavy-copy ledger's keys in ascending order, for
+// the same determinism reason.
+func sortedCopyKeys(m map[uint64]int64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // sortedDeadNodes returns the declared-dead set in ascending id order, for
 // the same determinism reason.
 func sortedDeadNodes(m map[rt.NodeID]bool) []rt.NodeID {

@@ -39,6 +39,11 @@ func init() {
 	gob.Register(&purgeRange{})
 	gob.Register(&replayRange{})
 	gob.Register(&replayDone{})
+	gob.Register(&detectHeavy{})
+	gob.Register(&keyCountReq{})
+	gob.Register(&keyCountResp{})
+	gob.Register(&heavyAssign{})
+	gob.Register(&heavyClone{})
 	gob.Register(&collectStats{})
 	gob.Register(&setForward{})
 	gob.Register(&statsReq{})

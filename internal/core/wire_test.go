@@ -69,6 +69,11 @@ func TestMessageGobRoundTrip(t *testing.T) {
 		&reshuffleAssign{Keep: hashfn.Range{Lo: 0, Hi: 2}, GroupEntries: table.Entries, Table: table},
 		&startProbe{Table: table},
 		&finishOOC{},
+		&detectHeavy{},
+		&keyCountReq{Positions: []int32{3, 9, 27}},
+		&keyCountResp{Keys: []uint64{2, 4}, Counts: []int64{100, 50}, SpilledParts: []int32{1}},
+		&heavyAssign{Keys: []uint64{2, 4, 8}},
+		&heavyClone{Chunk: chunk},
 		&setForward{NextTable: table, NextSeed: 42, Layout: tuple.DefaultLayout()},
 		&collectStats{},
 		&statsReq{},
@@ -134,6 +139,52 @@ func TestSpillMessagesBinaryRoundTrip(t *testing.T) {
 	for _, bad := range [][]byte{
 		{5}, {5, 1, 2, 3}, {5, 1, 2, 3, 4, 5, 6, 7, 8, 9},
 		{6}, {6, 1, 2, 3, 4, 5, 6, 7, 8},
+	} {
+		if _, err := wire.DecodeMessage(bad); err == nil {
+			t.Errorf("malformed frame % x decoded", bad)
+		}
+	}
+}
+
+// TestHeavyMessagesBinaryRoundTrip pins the heavy-routing frames' binary
+// codecs (wire ids 7 and 8) independently of gob: the heavyAssign key list
+// and the heavyClone replication chunk.
+func TestHeavyMessagesBinaryRoundTrip(t *testing.T) {
+	chunk := &tuple.Chunk{Rel: tuple.RelR, Layout: tuple.DefaultLayout(),
+		Tuples: []tuple.Tuple{{Index: 1, Key: 2}, {Index: 3, Key: 2}}}
+	msgs := []rt.Message{
+		&heavyAssign{},
+		&heavyAssign{Keys: []uint64{7}},
+		&heavyAssign{Keys: []uint64{1, 1 << 40, ^uint64(0)}},
+		&heavyClone{Chunk: chunk},
+	}
+	for _, m := range msgs {
+		frame, err := wire.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		if len(frame) == 0 || (frame[0] != wireHeavyAssign && frame[0] != wireHeavyClone) {
+			t.Fatalf("%T went through the gob fallback: % x", m, frame[:1])
+		}
+		back, err := wire.DecodeMessage(frame)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		if !reflect.DeepEqual(back, m) {
+			t.Errorf("round trip changed %T: got %+v, want %+v", m, back, m)
+		}
+	}
+	// Ragged key lists, truncated chunks, and trailing garbage must be
+	// rejected, not misread.
+	cloneFrame, err := wire.AppendMessage(nil, &heavyClone{Chunk: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{
+		{7, 1}, {7, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{8}, {8, 1, 2, 3},
+		append(append([]byte{}, cloneFrame...), 0xff),
+		cloneFrame[:len(cloneFrame)-1],
 	} {
 		if _, err := wire.DecodeMessage(bad); err == nil {
 			t.Errorf("malformed frame % x decoded", bad)

@@ -32,6 +32,8 @@ func (g *Gen) ChainKeyAt(i int64) uint64 { return ChainKeyAt(g.spec.Seed, i) }
 type Linked struct {
 	spec          Spec
 	upstream      Spec
+	own           *Gen // this relation's own distribution (prebuilt: Zipf needs its table)
+	up            *Gen // upstream's primary-attribute generator
 	matchFraction float64
 	// refChain selects which upstream attribute is referenced: the
 	// next-level (chain) attribute for interior chain relations, or the
@@ -41,19 +43,25 @@ type Linked struct {
 }
 
 // NewLinked returns a generator for a relation at the next join level.
+// Correlated is probe-only and has no chain semantics, so it is rejected
+// for both the relation itself and its upstream.
 func NewLinked(spec, upstream Spec, matchFraction float64, refChain bool) (*Linked, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	if err := upstream.Validate(); err != nil {
-		return nil, fmt.Errorf("datagen: upstream: %w", err)
-	}
 	if matchFraction < 0 || matchFraction > 1 {
 		return nil, fmt.Errorf("datagen: match fraction %v outside [0,1]", matchFraction)
+	}
+	own, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	up, err := New(upstream)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: upstream: %w", err)
 	}
 	return &Linked{
 		spec:          spec,
 		upstream:      upstream,
+		own:           own,
+		up:            up,
 		matchFraction: matchFraction,
 		refChain:      refChain,
 	}, nil
@@ -73,12 +81,10 @@ func (l *Linked) KeyAt(i int64) uint64 {
 			if l.refChain {
 				return ChainKeyAt(l.upstream.Seed, j)
 			}
-			up := Gen{spec: l.upstream}
-			return up.KeyAt(j)
+			return l.up.KeyAt(j)
 		}
 	}
-	own := Gen{spec: l.spec}
-	return own.KeyAt(i)
+	return l.own.KeyAt(i)
 }
 
 // ChainKeyAt returns tuple i's next-level join attribute.

@@ -1,8 +1,10 @@
 // Package datagen produces the synthetic relations used in the paper's
 // evaluation (§5, "Data Generation"): tuples with a 64-bit index, a 64-bit
-// join attribute drawn from either a Uniform or a Gaussian distribution
-// (user-specified mean and standard deviation; the Gaussian models data
-// skew), and an n-byte payload.
+// join attribute drawn from a Uniform, Gaussian (value-locality skew,
+// user-specified mean and standard deviation), Zipf (key-duplication
+// skew, rank-frequency r^-s), or Correlated (probe keys mirroring the
+// build relation's realized distribution) distribution, and an n-byte
+// payload.
 //
 // Generation is counter-based and deterministic: tuple i of a relation is a
 // pure function of (seed, i). This mirrors the paper's setup, where the
@@ -16,6 +18,7 @@ package datagen
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ehjoin/internal/tuple"
 )
@@ -30,7 +33,27 @@ const (
 	// unit interval (scaled to 64 bits), clamped at the domain edges. The
 	// paper uses sigma = 0.001 for moderate and 0.0001 for extreme skew.
 	Gaussian
+	// Zipf draws join attributes rank-frequency distributed: rank r is
+	// drawn with probability proportional to r^-s (s = Spec.ZipfS) over
+	// zipfRanks ranks, and each rank is scattered to a pseudorandom
+	// 64-bit key, so heavy keys land on unrelated routing positions. This
+	// is the key-duplication skew (a few keys carry most of the mass)
+	// that defeats equal-mass range cuts, as opposed to Gaussian's
+	// value-locality skew.
+	Zipf
+	// Correlated is probe-only: probe tuple keys are drawn uniformly from
+	// the build relation's realized tuples, so the probe key-frequency
+	// distribution mirrors whatever the build relation produced (a
+	// build-side heavy hitter is probe-side heavy with the same mass
+	// fraction). Requires a build generator; Spec.Mean/Sigma/ZipfS are
+	// ignored.
+	Correlated
 )
+
+// Dists returns every defined distribution, in enum order. Exhaustiveness
+// tests iterate this so a new Dist value cannot be added without also
+// extending String and Validate.
+func Dists() []Dist { return []Dist{Uniform, Gaussian, Zipf, Correlated} }
 
 // String implements fmt.Stringer.
 func (d Dist) String() string {
@@ -39,9 +62,23 @@ func (d Dist) String() string {
 		return "uniform"
 	case Gaussian:
 		return "gaussian"
+	case Zipf:
+		return "zipf"
+	case Correlated:
+		return "correlated"
 	default:
 		return fmt.Sprintf("Dist(%d)", uint8(d))
 	}
+}
+
+// ParseDist maps a command-line distribution name to its Dist value.
+func ParseDist(name string) (Dist, error) {
+	for _, d := range Dists() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("datagen: unknown distribution %q (want uniform|gaussian|zipf|correlated)", name)
 }
 
 // Spec describes one relation.
@@ -49,6 +86,7 @@ type Spec struct {
 	Dist   Dist
 	Mean   float64 // Gaussian mean in [0,1); the paper's experiments centre the distribution
 	Sigma  float64 // Gaussian standard deviation in unit-interval terms
+	ZipfS  float64 // Zipf exponent s > 0; rank r has mass proportional to r^-s
 	Tuples int64   // relation cardinality
 	Seed   uint64  // generation seed; relations with equal seeds and specs are identical
 	Layout tuple.Layout
@@ -59,13 +97,23 @@ func (s Spec) Validate() error {
 	if s.Tuples <= 0 {
 		return fmt.Errorf("datagen: relation needs at least one tuple, got %d", s.Tuples)
 	}
-	if s.Dist == Gaussian {
+	switch s.Dist {
+	case Uniform:
+	case Gaussian:
 		if s.Mean < 0 || s.Mean >= 1 {
 			return fmt.Errorf("datagen: gaussian mean %v outside [0,1)", s.Mean)
 		}
 		if s.Sigma <= 0 {
 			return fmt.Errorf("datagen: gaussian sigma %v must be positive", s.Sigma)
 		}
+	case Zipf:
+		if s.ZipfS <= 0 {
+			return fmt.Errorf("datagen: zipf exponent %v must be positive", s.ZipfS)
+		}
+	case Correlated:
+		// Probe-only; the referenced build relation supplies the shape.
+	default:
+		return fmt.Errorf("datagen: unknown distribution Dist(%d)", uint8(s.Dist))
 	}
 	return nil
 }
@@ -88,9 +136,41 @@ func unit(x uint64) float64 {
 // clamping Gaussian samples to the key domain.
 const maxUnit = 1 - 1.0/(1<<53)
 
+// zipfRanks is the inverse-CDF table size: the key domain of a Zipf
+// relation. Fixed so generation stays a pure function of (seed, i)
+// independent of relation cardinality, and small enough that the table
+// builds in microseconds. The neglected tail beyond rank 65536 carries
+// < 1% of the mass for any s > 1.
+const zipfRanks = 65536
+
+// zipfTable builds the cumulative rank CDF for exponent s: cum[r] is the
+// probability of drawing a rank <= r, with cum[zipfRanks-1] pinned to 1.
+func zipfTable(s float64) []float64 {
+	cum := make([]float64, zipfRanks)
+	total := 0.0
+	for r := 0; r < zipfRanks; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cum[r] = total
+	}
+	for r := range cum {
+		cum[r] /= total
+	}
+	cum[zipfRanks-1] = 1
+	return cum
+}
+
+// zipfKey scatters rank r to its 64-bit join attribute. splitmix64 is
+// bijective, so distinct ranks of one relation never collide, and the
+// seed folds in so differently seeded relations use unrelated key sets
+// (mirroring Uniform).
+func zipfKey(seed uint64, r int) uint64 {
+	return splitmix64(seed ^ 0x5A6970664B657973 ^ uint64(r)*0xD6E8FEB86659FD93)
+}
+
 // Gen generates one relation deterministically.
 type Gen struct {
-	spec Spec
+	spec    Spec
+	zipfCum []float64 // inverse-CDF table, built once in New (Zipf only)
 }
 
 // New returns a generator for the relation described by spec.
@@ -98,7 +178,14 @@ func New(spec Spec) (*Gen, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Gen{spec: spec}, nil
+	if spec.Dist == Correlated {
+		return nil, fmt.Errorf("datagen: correlated is a probe-only distribution (use NewProbe with a build generator)")
+	}
+	g := &Gen{spec: spec}
+	if spec.Dist == Zipf {
+		g.zipfCum = zipfTable(spec.ZipfS)
+	}
+	return g, nil
 }
 
 // Spec returns the generator's relation description.
@@ -121,6 +208,13 @@ func (g *Gen) KeyAt(i int64) uint64 {
 			v = maxUnit
 		}
 		return uint64(v * float64(1<<32) * float64(1<<32))
+	case Zipf:
+		u := unit(splitmix64(g.spec.Seed ^ 0x5A69706644726177 ^ uint64(i)*0xE7037ED1A0B428DB))
+		r := sort.SearchFloat64s(g.zipfCum, u)
+		if r >= zipfRanks {
+			r = zipfRanks - 1
+		}
+		return zipfKey(g.spec.Seed, r)
 	default: // Uniform
 		return splitmix64(g.spec.Seed ^ uint64(i)*0x9E3779B97F4A7C15)
 	}
@@ -139,6 +233,7 @@ func (g *Gen) At(i int64) tuple.Tuple {
 type ProbeGen struct {
 	spec          Spec
 	build         *Gen
+	own           *Gen // S's own distribution (nil for Correlated: build supplies every key)
 	matchFraction float64
 }
 
@@ -153,7 +248,19 @@ func NewProbe(spec Spec, build *Gen, matchFraction float64) (*ProbeGen, error) {
 	if matchFraction > 0 && build == nil {
 		return nil, fmt.Errorf("datagen: match fraction %v requires a build generator", matchFraction)
 	}
-	return &ProbeGen{spec: spec, build: build, matchFraction: matchFraction}, nil
+	p := &ProbeGen{spec: spec, build: build, matchFraction: matchFraction}
+	if spec.Dist == Correlated {
+		if build == nil {
+			return nil, fmt.Errorf("datagen: correlated probe relation requires a build generator")
+		}
+	} else {
+		own, err := New(spec)
+		if err != nil {
+			return nil, err
+		}
+		p.own = own
+	}
+	return p, nil
 }
 
 // Spec returns the probe relation description.
@@ -168,8 +275,11 @@ func (p *ProbeGen) KeyAt(i int64) uint64 {
 			return p.build.KeyAt(j)
 		}
 	}
-	own := Gen{spec: p.spec}
-	return own.KeyAt(i)
+	if p.spec.Dist == Correlated {
+		j := int64(splitmix64(p.spec.Seed^0x436F72724472696E^uint64(i)*0xC2B2AE3D27D4EB4F) % uint64(p.build.spec.Tuples))
+		return p.build.KeyAt(j)
+	}
+	return p.own.KeyAt(i)
 }
 
 // At returns probe tuple i.

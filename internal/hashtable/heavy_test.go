@@ -1,0 +1,112 @@
+package hashtable
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ehjoin/internal/hashfn"
+	"ehjoin/internal/tuple"
+)
+
+// TestHeavyPositions pins the stage-1 histogram reduction.
+func TestHeavyPositions(t *testing.T) {
+	counts := []int64{0, 10, 3, 10, 9}
+	got := HeavyPositions(counts, 100, 10)
+	want := []int32{101, 103}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HeavyPositions = %v, want %v", got, want)
+	}
+	if HeavyPositions(nil, 0, 1) != nil {
+		t.Error("empty histogram should yield no positions")
+	}
+}
+
+// TestKeyCountsAtSerialShardedEquivalence inserts an identical skewed
+// workload into a serial Table and Sharded tables at several shard
+// counts, and asserts KeyCountsAt returns byte-identical (keys, counts)
+// for the candidate positions the global histogram flags.
+func TestKeyCountsAtSerialShardedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pool := make([]uint64, 40)
+	for i := range pool {
+		pool[i] = rng.Uint64()
+	}
+	var ts []tuple.Tuple
+	for i := 0; i < 5000; i++ {
+		k := pool[rng.Intn(len(pool))]
+		if i%3 == 0 {
+			k = pool[0] // deliberate heavy hitter
+		}
+		ts = append(ts, tuple.Tuple{Index: uint64(i), Key: k})
+	}
+
+	serial := New(testSpace, tuple.DefaultLayout())
+	for _, tp := range ts {
+		serial.Insert(tp)
+	}
+	full := hashfn.Range{Lo: 0, Hi: testSpace.Positions()}
+	hist := serial.CountsInRange(full)
+	positions := HeavyPositions(hist, full.Lo, int64(len(ts))/10)
+	if len(positions) == 0 {
+		t.Fatal("workload produced no candidate positions; heavy hitter missing")
+	}
+	wantKeys, wantCounts := serial.KeyCountsAt(positions)
+	if len(wantKeys) == 0 {
+		t.Fatal("serial KeyCountsAt returned nothing at candidate positions")
+	}
+	foundHeavy := false
+	for i, k := range wantKeys {
+		if k == pool[0] && wantCounts[i] >= int64(len(ts))/3 {
+			foundHeavy = true
+		}
+	}
+	if !foundHeavy {
+		t.Fatalf("heavy key %#x not among key counts %v / %v", pool[0], wantKeys, wantCounts)
+	}
+
+	for _, shards := range []int{1, 2, 4, 7} {
+		sh := NewSharded(testSpace, tuple.DefaultLayout(), shards, nil)
+		sh.InsertAll(ts)
+		gotKeys, gotCounts := sh.KeyCountsAt(positions)
+		if !reflect.DeepEqual(gotKeys, wantKeys) || !reflect.DeepEqual(gotCounts, wantCounts) {
+			t.Errorf("shards=%d: KeyCountsAt diverges from serial table", shards)
+		}
+	}
+
+	// Empty-input contracts.
+	if k, c := serial.KeyCountsAt(nil); k != nil || c != nil {
+		t.Error("KeyCountsAt(nil) should return nil, nil")
+	}
+	if k, c := New(testSpace, tuple.DefaultLayout()).KeyCountsAt(positions); k != nil || c != nil {
+		t.Error("empty table KeyCountsAt should return nil, nil")
+	}
+}
+
+// TestTuplesWithKeyNonDestructive checks the replication snapshot helper
+// returns every tuple of the key and leaves the table untouched.
+func TestTuplesWithKeyNonDestructive(t *testing.T) {
+	serial := New(testSpace, tuple.DefaultLayout())
+	sharded := NewSharded(testSpace, tuple.DefaultLayout(), 4, nil)
+	for i := uint64(0); i < 100; i++ {
+		tp := tuple.Tuple{Index: i, Key: 77 + i%2} // half on key 77
+		serial.Insert(tp)
+		sharded.Insert(tp)
+	}
+	for name, got := range map[string][]tuple.Tuple{
+		"serial":  serial.TuplesWithKey(77),
+		"sharded": sharded.TuplesWithKey(77),
+	} {
+		if len(got) != 50 {
+			t.Errorf("%s: TuplesWithKey(77) = %d tuples, want 50", name, len(got))
+		}
+		for _, tp := range got {
+			if tp.Key != 77 {
+				t.Errorf("%s: returned foreign tuple %+v", name, tp)
+			}
+		}
+	}
+	if serial.Count() != 100 || sharded.Count() != 100 {
+		t.Error("TuplesWithKey must not remove tuples")
+	}
+}

@@ -25,6 +25,27 @@ func Balance(loads []int64, chunkTuples int) (avg, max, min float64) {
 	return float64(sum) / float64(len(loads)) / ct, float64(mx) / ct, float64(mn) / ct
 }
 
+// MaxMeanRatio returns max(loads) / mean(loads): 1.0 is a perfectly even
+// spread, N means one node carries the whole N-node cluster's share. The
+// heavy-routing experiments report it for per-node probe loads. Empty or
+// all-zero input yields zero.
+func MaxMeanRatio(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, mx int64
+	for _, l := range loads {
+		sum += l
+		if l > mx {
+			mx = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(mx) * float64(len(loads)) / float64(sum)
+}
+
 // Chunks converts a tuple count to chunk units.
 func Chunks(tuples int64, chunkTuples int) float64 {
 	if chunkTuples <= 0 {

@@ -144,6 +144,21 @@ func (m *Manager) partOf(key uint64) int {
 // caller can route tuples of evicted partitions here.
 func (m *Manager) PartOf(key uint64) int { return m.partOf(key) }
 
+// PartitionOf computes the partition a key sub-hashes into for a
+// configured (pre-rounding) partition count, without a Manager: the same
+// rounding and hash every Manager built with that count uses. The
+// scheduler's heavy-hitter detection uses it to exempt keys living in
+// partitions some node has spilled.
+func PartitionOf(key uint64, parts int) int {
+	p := 1
+	shift := uint(64)
+	for p < parts {
+		p <<= 1
+		shift--
+	}
+	return int((key * fibMul) >> shift)
+}
+
 // Parts returns the spill fan-out (rounded up to a power of two).
 func (m *Manager) Parts() int { return m.parts }
 

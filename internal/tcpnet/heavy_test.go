@@ -1,0 +1,177 @@
+package tcpnet_test
+
+// Heavy-hitter routing over the real transport: the detection handshake
+// (detectHeavy/keyCountReq/keyCountResp) rides the coordinator links while
+// heavyAssign and the heavyClone replication chunks cross the binary wire
+// codec — and, under the p2p data plane, the direct worker↔worker links.
+// The join result must stay bit-identical to the simulator's either way.
+
+import (
+	"testing"
+	"time"
+
+	"ehjoin/internal/core"
+	"ehjoin/internal/datagen"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tcpnet"
+)
+
+// heavyDistConfig is distConfig under skew: Zipf build, fully correlated
+// probe stream, heavy routing armed.
+func heavyDistConfig(alg core.Algorithm) core.Config {
+	cfg := distConfig(alg)
+	cfg.Build = datagen.Spec{Dist: datagen.Zipf, ZipfS: 1.5, Tuples: 20_000, Seed: 900}
+	cfg.Probe = datagen.Spec{Dist: datagen.Correlated, Tuples: 20_000, Seed: 901}
+	cfg.HeavyThreshold = 0.02
+	return cfg
+}
+
+// TestDistributedHeavy runs the heavy path with all join nodes hosted on
+// two TCP workers over the star topology.
+func TestDistributedHeavy(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.Split, core.Replication, core.Hybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := heavyDistConfig(alg)
+			want, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.HeavyKeys == 0 {
+				t.Fatal("scenario detected no heavy keys in the simulator")
+			}
+			blob, err := core.EncodeConfig(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids, err := core.JoinNodeIDs(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns, wg := startWorkers(t, 2)
+			assignment := make(map[rt.NodeID]int)
+			for i, id := range ids {
+				assignment[id] = i % 2
+			}
+			coord, err := tcpnet.NewCoordinator(blob, assignment, conns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.Execute(cfg, coord)
+			coord.Close()
+			wg.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Matches != want.Matches || got.Checksum != want.Checksum {
+				t.Errorf("distributed heavy result %d/%#x, want %d/%#x",
+					got.Matches, got.Checksum, want.Matches, want.Checksum)
+			}
+			if got.HeavyKeys != want.HeavyKeys {
+				t.Errorf("distributed run detected %d heavy keys, sim %d",
+					got.HeavyKeys, want.HeavyKeys)
+			}
+			if got.HeavyProbeTuples == 0 {
+				t.Error("no probe tuples took the partitioned path over TCP")
+			}
+		})
+	}
+}
+
+// TestP2PHeavy repeats the heavy run over the peer-to-peer data plane:
+// heavyClone replication chunks are worker↔worker chunk traffic, so they
+// must ride the direct links — zero relayed messages through the hub.
+func TestP2PHeavy(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.Split, core.Replication, core.Hybrid} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := heavyDistConfig(alg)
+			want, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.HeavyKeys == 0 {
+				t.Fatal("scenario detected no heavy keys in the simulator")
+			}
+			got := runP2PJoin(t, cfg, 3)
+			if got.Matches != want.Matches || got.Checksum != want.Checksum {
+				t.Errorf("p2p heavy result %d/%#x, want %d/%#x",
+					got.Matches, got.Checksum, want.Matches, want.Checksum)
+			}
+			if got.HeavyKeys != want.HeavyKeys {
+				t.Errorf("p2p run detected %d heavy keys, sim %d",
+					got.HeavyKeys, want.HeavyKeys)
+			}
+			if got.HeavyProbeTuples == 0 {
+				t.Error("no probe tuples took the partitioned path over p2p links")
+			}
+			assertNoRelay(t, got)
+		})
+	}
+}
+
+// TestHeavyWorkerDeathRecovers crosses the heavy path with a worker-process
+// death mid-build on the real transport: the doomed worker dies before
+// detection, recovery re-streams its build state, and detection then runs
+// on the healed cluster — exact fault-free result required.
+func TestHeavyWorkerDeathRecovers(t *testing.T) {
+	cfg := heavyDistConfig(core.Split)
+	want, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.HeavyKeys == 0 {
+		t.Fatal("scenario detected no heavy keys in the simulator")
+	}
+	blob, err := core.EncodeConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := core.JoinNodeIDs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedID, err := core.SchedulerNodeID(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, wg := startFaultyWorkers(t, 2, 1, 100<<10, true)
+	assignment := make(map[rt.NodeID]int)
+	for i, id := range ids {
+		assignment[id] = i % 2
+	}
+	var coord *tcpnet.Coordinator
+	handler := func(worker int, nodes []rt.NodeID, cause error) {
+		t.Logf("worker %d died (%v); notifying scheduler of %d nodes", worker, cause, len(nodes))
+		for _, n := range nodes {
+			coord.Inject(schedID, core.NodeDeadMessage(n))
+		}
+	}
+	// The kill is detected by the connection reset, not the heartbeat, so
+	// the timeout can be generous: the skewed workload's match explosion
+	// slows the surviving worker enough under -race that a 500ms silence
+	// threshold falsely declares it dead too.
+	coord, err = tcpnet.NewCoordinator(blob, assignment, conns,
+		tcpnet.WithFailureHandler(handler),
+		tcpnet.WithHeartbeat(50*time.Millisecond, 5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Execute(cfg, coord)
+	coord.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("heavy run with worker death did not recover: %v", err)
+	}
+	if got.NodesLost == 0 {
+		t.Fatal("the doomed worker's nodes were never declared dead")
+	}
+	if got.Degraded {
+		t.Fatalf("build-phase worker death should recover exactly, got degraded: %v", got)
+	}
+	if got.Matches != want.Matches || got.Checksum != want.Checksum {
+		t.Errorf("recovered heavy result %d/%#x, want %d/%#x",
+			got.Matches, got.Checksum, want.Matches, want.Checksum)
+	}
+	if got.HeavyKeys != want.HeavyKeys {
+		t.Errorf("recovered run detected %d heavy keys, sim %d", got.HeavyKeys, want.HeavyKeys)
+	}
+}
