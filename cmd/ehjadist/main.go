@@ -14,6 +14,8 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -57,7 +59,11 @@ func main() {
 		resume       = flag.Bool("resume", true, "recover broken worker connections by ack-based session resume (retransmit only unacked frames) before falling back to re-streaming")
 		resumeWindow = flag.Duration("resume-window", tcpnet.DefaultResumeWindow,
 			"how long a disconnected worker may take to redial before the next recovery rung")
-		p2p = flag.Bool("p2p", true, "ship worker↔worker chunks over direct peer links (the data plane) instead of relaying through the coordinator; with -spawn=false every joind must also run -p2p")
+		p2p          = flag.Bool("p2p", true, "ship worker↔worker chunks over direct peer links (the data plane) instead of relaying through the coordinator; with -spawn=false every joind must also run -p2p")
+		wal          = flag.String("wal", "", "write-ahead checkpoint log for the coordinator control plane (DESIGN.md §12); enables crash recovery via -coord-restart")
+		coordKill    = flag.String("coord-kill", "", "kill the coordinator after record N of phase P, format P@N (P=-1 counts whole-log records); fault-injection demo, needs -wal")
+		coordRestart = flag.Bool("coord-restart", false, "on coordinator death, restart in-process: replay the -wal log, rebind the listener, and resume the run where it died")
+		park         = flag.Bool("park", false, "workers ride out a coordinator crash parked in their redial loop instead of treating EOF as shutdown (implied for spawned workers by -coord-restart)")
 	)
 	flag.Parse()
 
@@ -72,7 +78,7 @@ func main() {
 	}
 
 	if *worker {
-		runWorker(*connect, *chaos, *resume, *p2p)
+		runWorker(*connect, *chaos, *resume, *p2p, *park)
 		return
 	}
 
@@ -143,6 +149,35 @@ func main() {
 		killWorker, killAfter = w, after
 	}
 
+	crashPhase, crashRecs := 0, int64(0)
+	if *coordKill != "" {
+		if *wal == "" {
+			fatal(fmt.Errorf("-coord-kill: nothing would survive the crash without -wal"))
+		}
+		p, n, err := parseCrashPoint(*coordKill)
+		if err != nil {
+			fatal(err)
+		}
+		crashPhase, crashRecs = p, n
+	}
+	if *coordRestart && *wal == "" {
+		fatal(fmt.Errorf("-coord-restart: needs -wal to restart from"))
+	}
+	if *wal != "" && !*resume {
+		fatal(fmt.Errorf("-wal: crash recovery is worker-initiated re-attachment; it needs -resume"))
+	}
+	var walF *os.File
+	if *wal != "" {
+		f, err := os.Create(*wal)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		walF = f
+	}
+	// Spawned workers must survive the coordinator's death to re-attach.
+	*park = *park || (*coordRestart && *spawn)
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
@@ -158,7 +193,8 @@ func main() {
 		}
 		for i := 0; i < *workers; i++ {
 			args := []string{"-worker", "-connect", l.Addr().String(), "-wire", *wireMode,
-				"-resume=" + strconv.FormatBool(*resume), "-p2p=" + strconv.FormatBool(*p2p)}
+				"-resume=" + strconv.FormatBool(*resume), "-p2p=" + strconv.FormatBool(*p2p),
+				"-park=" + strconv.FormatBool(*park)}
 			if *chaos != "" {
 				args = append(args, "-chaos", *chaos)
 			}
@@ -194,30 +230,42 @@ func main() {
 		assignment[id] = i % *workers
 	}
 
+	schedID, err := core.SchedulerNodeID(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	var coord *tcpnet.Coordinator
-	var opts []tcpnet.Option
-	if *p2p {
-		opts = append(opts, tcpnet.WithP2P())
-	}
-	if *resume {
-		// The coordinator takes over the listener: disconnected workers
-		// redial it and resume their session in place.
-		opts = append(opts, tcpnet.WithResume(l, *resumeWindow))
-	}
-	if *recover_ {
-		schedID, err := core.SchedulerNodeID(cfg)
-		if err != nil {
-			fatal(err)
+	// baseOpts builds the option set shared by the first coordinator and
+	// any crash restarts; each instance gets its own listener and a
+	// failure handler closed over its own *Coordinator (the handler runs
+	// inside that coordinator's Drain loop, so the closure is safe).
+	baseOpts := func(l net.Listener, target **tcpnet.Coordinator) []tcpnet.Option {
+		var opts []tcpnet.Option
+		if *p2p {
+			opts = append(opts, tcpnet.WithP2P())
 		}
-		// The handler runs inside the coordinator's Drain loop, after
-		// NewCoordinator has returned, so the closure over coord is safe.
-		opts = append(opts, tcpnet.WithFailureHandler(func(w int, nodes []rt.NodeID, cause error) {
-			fmt.Fprintf(os.Stderr, "ehjadist: worker %d failed (%v); recovering %d node(s)\n",
-				w, cause, len(nodes))
-			for _, n := range nodes {
-				coord.Inject(schedID, core.NodeDeadMessage(n))
-			}
-		}))
+		if *resume {
+			// The coordinator takes over the listener: disconnected workers
+			// redial it and resume their session in place.
+			opts = append(opts, tcpnet.WithResume(l, *resumeWindow))
+		}
+		if walF != nil {
+			opts = append(opts, tcpnet.WithCheckpoint(walF))
+		}
+		if *recover_ || *coordRestart {
+			opts = append(opts, tcpnet.WithFailureHandler(func(w int, nodes []rt.NodeID, cause error) {
+				fmt.Fprintf(os.Stderr, "ehjadist: worker %d failed (%v); recovering %d node(s)\n",
+					w, cause, len(nodes))
+				for _, n := range nodes {
+					(*target).Inject(schedID, core.NodeDeadMessage(n))
+				}
+			}))
+		}
+		return opts
+	}
+	opts := baseOpts(l, &coord)
+	if crashRecs > 0 {
+		opts = append(opts, tcpnet.WithCrashPoint(crashPhase, crashRecs))
 	}
 	coord, err = tcpnet.NewCoordinator(blob, assignment, conns, opts...)
 	if err != nil {
@@ -232,6 +280,40 @@ func main() {
 	}
 	start := time.Now()
 	report, err := core.Execute(cfg, coord)
+	if err != nil && errors.Is(err, tcpnet.ErrCoordKilled) && *coordRestart {
+		// The supervisor path (DESIGN.md §12): the old process state is
+		// gone — only the write-ahead log and the parked workers survive.
+		// Rebind the workers' dial address, replay the log into a restored
+		// coordinator, and pick the run up at the exact phase step where
+		// the old one died. The restored coordinator keeps appending to
+		// the same log, so a second crash would replay the whole history.
+		fmt.Fprintf(os.Stderr, "ehjadist: coordinator died (%v); restarting from %s\n", err, *wal)
+		coord.Close()
+		l2, lerr := net.Listen("tcp", l.Addr().String())
+		if lerr != nil {
+			fatal(fmt.Errorf("rebinding %s: %w", l.Addr(), lerr))
+		}
+		defer l2.Close()
+		logged, rerr := os.ReadFile(*wal)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		snap, rerr := tcpnet.ReadSnapshot(bytes.NewReader(logged))
+		if rerr != nil {
+			fatal(rerr)
+		}
+		rs, rerr := core.PrepareResume(snap.CfgBlob())
+		if rerr != nil {
+			fatal(rerr)
+		}
+		var coord2 *tcpnet.Coordinator
+		coord2, rerr = tcpnet.RestoreCoordinator(snap, rs.Actors(), baseOpts(l2, &coord2)...)
+		if rerr != nil {
+			fatal(fmt.Errorf("restoring from checkpoint: %w", rerr))
+		}
+		coord = coord2
+		report, err = core.ResumeExecute(rs, coord, coord.DrainsDone(), coord.RootInjects())
+	}
 	stats := coord.TransportStats()
 	coord.Close()
 	for _, p := range procs {
@@ -299,7 +381,25 @@ func parseKill(s string) (worker int, after time.Duration, err error) {
 	return worker, time.Duration(sec * float64(time.Second)), nil
 }
 
-func runWorker(connect, chaos string, resume, p2p bool) {
+// parseCrashPoint parses a "P@N" coordinator crash spec: kill after log
+// record N of phase P, or of the whole log when P is -1.
+func parseCrashPoint(s string) (phase int, records int64, err error) {
+	p, n, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("-coord-kill %q: want P@N (e.g. 1@40, or -1@120 for whole-log records)", s)
+	}
+	phase, err = strconv.Atoi(p)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-coord-kill %q: bad phase: %v", s, err)
+	}
+	records, err = strconv.ParseInt(n, 10, 64)
+	if err != nil || records <= 0 {
+		return 0, 0, fmt.Errorf("-coord-kill %q: bad record count %q", s, n)
+	}
+	return phase, records, nil
+}
+
+func runWorker(connect, chaos string, resume, p2p, park bool) {
 	plan, err := tcpnet.ParseChaos(chaos)
 	if err != nil {
 		fatal(err)
@@ -329,6 +429,9 @@ func runWorker(connect, chaos string, resume, p2p bool) {
 	var opts []tcpnet.WorkerOption
 	if resume {
 		opts = append(opts, tcpnet.WithWorkerResume(dial, 0, 0))
+		if park {
+			opts = append(opts, tcpnet.WithWorkerPark())
+		}
 	}
 	if p2p {
 		opts = append(opts, tcpnet.WithWorkerP2P(":0"))

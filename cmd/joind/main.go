@@ -26,6 +26,7 @@ func main() {
 	cores := flag.Int("cores", 0, "override intra-node morsel parallelism on this worker (0 = inherit coordinator config, -1 = this host's GOMAXPROCS)")
 	chaos := flag.String("chaos", "", "deterministic network fault injection on this connection: a PRNG seed, or a schedule like corrupt@4096;tear@9000;dup@3")
 	resume := flag.Bool("resume", true, "redial the coordinator and resume the session when the connection breaks")
+	park := flag.Bool("park", false, "ride out a coordinator crash: keep redialing through the full jittered schedule and re-attach when a restarted coordinator rebinds, instead of treating EOF as shutdown")
 	noSpill := flag.Bool("no-spill", false, "decline spill orders on this worker even when the coordinator enables the spill rung (e.g. no usable local disk)")
 	p2p := flag.Bool("p2p", true, "exchange worker↔worker chunks over direct peer links; must match the coordinator's -p2p setting")
 	peerListen := flag.String("peer-listen", ":0", "data-plane listener address other workers dial (p2p mode); the advertised host falls back to this worker's coordinator-facing address when unspecified")
@@ -82,6 +83,9 @@ func main() {
 	var opts []tcpnet.WorkerOption
 	if *resume {
 		opts = append(opts, tcpnet.WithWorkerResume(dial, 0, 0))
+		if *park {
+			opts = append(opts, tcpnet.WithWorkerPark())
+		}
 	}
 	if *p2p {
 		opts = append(opts, tcpnet.WithWorkerP2P(*peerListen))

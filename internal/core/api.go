@@ -163,6 +163,8 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		Degraded:         sched.degraded || sched.recoveryFailed,
 		HeavyKeys:        int64(len(sched.heavyKeys)),
 		Events:           sched.events,
+
+		DegradedProbeRecoveries: sched.degradedProbeRecoveries,
 	}
 	if cfg.Cores > 1 {
 		r.Cores = cfg.Cores
@@ -268,6 +270,9 @@ func assembleReport(cfg Config, eng rt.Engine, sched *schedActor,
 		r.SessionFrames = s.FramesSent
 		r.RelayedMessages = s.RelayedMessages
 		r.RelayedBytes = s.RelayedBytes
+		r.CoordRestarts = s.CoordRestarts
+		r.CheckpointReplays = s.CheckpointReplays
+		r.ReattachedWorkers = s.ReattachedWorkers
 	}
 	// RecoveryRung records the most expensive recovery path the run took:
 	// the session layer's ack-based resume is rung 1, the scheduler's

@@ -140,6 +140,19 @@ type Report struct {
 	// 0 none, 1 ack-based resume, 2 purge + re-stream, 3 degraded
 	// (replica loss the probe phase worked around).
 	RecoveryRung int
+	// DegradedProbeRecoveries counts probe-phase deaths handled by the
+	// degrade-onto-replicas path: losses the run could only work around,
+	// not recover exactly.
+	DegradedProbeRecoveries int64
+
+	// Coordinator crash recovery (TCP engine with checkpointing only).
+	// CoordRestarts counts coordinator restorations from the write-ahead
+	// checkpoint, CheckpointReplays the records replayed across them, and
+	// ReattachedWorkers the workers that re-attached to a restored
+	// coordinator with their session intact.
+	CoordRestarts     int64
+	CheckpointReplays int64
+	ReattachedWorkers int64
 
 	// Intra-node parallelism (Config.Cores > 1; zero-valued otherwise).
 	Cores int
@@ -205,9 +218,16 @@ func (r *Report) String() string {
 	if r.NodesLost > 0 {
 		s += fmt.Sprintf(" lost %d recovered %d recovery %.3fs re-streamed %d chunks (%d tuples)",
 			r.NodesLost, r.NodesRecovered, r.RecoverySec, r.RestreamedChunks, r.RestreamedTuples)
+		if r.DegradedProbeRecoveries > 0 {
+			s += fmt.Sprintf(" probe-degraded %d", r.DegradedProbeRecoveries)
+		}
 		if r.Degraded {
 			s += " DEGRADED"
 		}
+	}
+	if r.CoordRestarts > 0 {
+		s += fmt.Sprintf(" coord-restarts %d (replayed %d records, re-attached %d workers)",
+			r.CoordRestarts, r.CheckpointReplays, r.ReattachedWorkers)
 	}
 	if r.RecoveryRung > 0 || r.Resumes > 0 || r.ChecksumFailures > 0 || r.DuplicateFrames > 0 {
 		s += fmt.Sprintf(" rung %d resumes %d retransmitted %d/%d frames crc-fail %d dups %d",

@@ -89,6 +89,10 @@ type schedActor struct {
 	recoveryNs       int64
 	restreamedChunks int64
 	restreamedTuples int64
+	// degradedProbeRecoveries counts degrade() invocations during the
+	// probe phase — deaths the run worked around via surviving replicas
+	// instead of recovering exactly.
+	degradedProbeRecoveries int64
 
 	// events logs every expansion-protocol step in arrival order, for
 	// reporting and for the differential oracle's sequence comparison.
@@ -877,6 +881,9 @@ func (sc *schedActor) mergeOrphanEntry(env rt.Env, idx int) bool {
 // algorithms' free partial fault tolerance), a sole-owner range is lost
 // outright, and the run is flagged so conservation checks are skipped.
 func (sc *schedActor) degrade(env rt.Env) {
+	if sc.phase == phaseProbe {
+		sc.degradedProbeRecoveries++
+	}
 	sc.degraded = true
 	for _, node := range sortedDeadNodes(sc.deadNodes) {
 		sc.table.RemoveOwner(int32(node))

@@ -81,6 +81,16 @@ type TransportStats struct {
 	RelayedMessages int64
 	// RelayedBytes is the payload volume of those relayed messages.
 	RelayedBytes int64
+	// CoordRestarts counts coordinator processes restored from a
+	// write-ahead checkpoint (0 on a crash-free run).
+	CoordRestarts int64
+	// CheckpointReplays counts checkpoint records replayed across those
+	// restores.
+	CheckpointReplays int64
+	// ReattachedWorkers counts workers that survived a coordinator crash
+	// parked in their redial loop and re-attached to the restored
+	// coordinator with their session intact (rung 1).
+	ReattachedWorkers int64
 }
 
 // Engine runs a set of actors to quiescence.

@@ -150,6 +150,7 @@ func runWorkerP2P(conn net.Conn, factory ActorFactory, o workerOpts) error {
 		enc:     newSessionWriter(conn, sess),
 		actors:  make(map[rt.NodeID]rt.Actor),
 		start:   time.Now(),
+		rng:     newRedialRNG(),
 		p2p: &p2pState{
 			self:  -1,
 			l:     l,

@@ -81,6 +81,27 @@ type session struct {
 	lastSeqSeen uint64 // highest consecutive sequence accepted
 	lastAckSent uint64 // lastSeqSeen as of the last frame we sent
 
+	// replayApplied marks sequences above lastSeqSeen whose effects a
+	// checkpoint replay already applied (coordinator crash recovery):
+	// reports and relays are logged at receive time, so the log can cover
+	// them while an earlier message frame was still queued, unlogged, at
+	// the crash. The peer retransmits the whole suffix; frames in this set
+	// advance the window and are acknowledged, but are not re-applied.
+	replayApplied map[uint64]struct{}
+
+	// gated bounds the advertised cumulative ack to gate.floor — the
+	// write-ahead-log coverage of this receive direction — instead of
+	// lastSeqSeen (checkpointing coordinators only). An ack releases the
+	// peer's retransmit buffer, so acking a frame whose event the log does
+	// not yet hold would make a coordinator crash in that window lose the
+	// frame beyond recovery: the worker trimmed it, the log never saw it,
+	// and the re-attach cross-check would be forced onto rung 2 — which
+	// degrades rather than recovers during the probe phase. The gate
+	// advances as events are logged (logged()); frames whose records land
+	// out of receive order wait in the cover's sparse set.
+	gated bool
+	gate  seqCover
+
 	// Stats (cumulative across resumes and epochs).
 	duplicates int64 // received frames dropped by sequence dedup
 
@@ -110,12 +131,16 @@ func (s *session) encode(f *frame) ([]byte, error) {
 	if reliableKind(f.Kind) {
 		seq = s.nextSeq
 	}
-	b, err := appendFrame(s.scratch[:0], f, seq, s.lastSeqSeen)
+	ack := s.lastSeqSeen
+	if s.gated {
+		ack = s.gate.floor
+	}
+	b, err := appendFrame(s.scratch[:0], f, seq, ack)
 	s.scratch = b[:0]
 	if err != nil {
 		return nil, err
 	}
-	s.lastAckSent = s.lastSeqSeen
+	s.lastAckSent = ack
 	if seq == 0 {
 		return b, nil
 	}
@@ -162,6 +187,11 @@ func (s *session) acceptSeq(seq uint64) (process bool, err error) {
 	switch {
 	case seq == s.lastSeqSeen+1:
 		s.lastSeqSeen = seq
+		if _, applied := s.replayApplied[seq]; applied {
+			delete(s.replayApplied, seq)
+			s.duplicates++
+			return false, nil
+		}
 		return true, nil
 	case seq <= s.lastSeqSeen:
 		s.duplicates++
@@ -190,7 +220,7 @@ func (s *session) unackedSince(seq uint64) [][]byte {
 func (s *session) needAck() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.lastSeqSeen > s.lastAckSent
+	return s.ackableLocked() > s.lastAckSent
 }
 
 // ackDebt counts received reliable frames no outgoing frame has
@@ -199,7 +229,43 @@ func (s *session) needAck() bool {
 func (s *session) ackDebt() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.lastSeqSeen - s.lastAckSent
+	return s.ackableLocked() - s.lastAckSent
+}
+
+// ackableLocked is the cumulative ack this side may advertise right now:
+// everything seen, or — gated — everything the write-ahead log covers.
+// Callers hold s.mu.
+func (s *session) ackableLocked() uint64 {
+	if s.gated {
+		return s.gate.floor
+	}
+	return s.lastSeqSeen
+}
+
+// ackable is ackableLocked for callers outside the session.
+func (s *session) ackable() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ackableLocked()
+}
+
+// enableAckGate arms write-ahead ack gating (checkpointing coordinators
+// only): from now on outgoing frames advertise the logged floor, and
+// logged() is the only thing that advances it.
+func (s *session) enableAckGate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gated = true
+}
+
+// logged marks the event carried by received frame seq as durably in the
+// write-ahead log, releasing its ack. No-op when gating is off.
+func (s *session) logged(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gated {
+		s.gate.add(seq)
+	}
 }
 
 // resumable reports whether this epoch can still be resumed from the
@@ -222,6 +288,45 @@ func (s *session) seen() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastSeqSeen
+}
+
+// ackedNow returns the highest cumulative ack received from the peer —
+// the floor below which the retransmit buffer holds nothing.
+func (s *session) ackedNow() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+// restore installs the replayed receive position (coordinator crash
+// recovery): seen is the largest contiguous sequence prefix the log
+// covers, and applied lists logged-and-replayed sequences above it —
+// frames whose records (reports, relays) were written at receive time
+// while an earlier message frame still sat queued, unlogged, when the
+// crash hit. The send side needs no installing: replay re-encoded every
+// regenerated frame through this session, so nextSeq, the retransmit
+// buffer, and the epoch already describe the pre-crash stream — with
+// acked still 0, because no ack from the worker survived the crash; the
+// re-attach handshake supplies the worker's true position and trims the
+// buffer then.
+func (s *session) restore(seen uint64, applied []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastSeqSeen = seen
+	s.lastAckSent = seen
+	s.replayApplied = nil
+	// The restored ack gate is exactly the replayed log coverage: the
+	// contiguous floor plus the logged-out-of-order sequences above it.
+	s.gate = seqCover{floor: seen}
+	for _, seq := range applied {
+		if seq > seen {
+			if s.replayApplied == nil {
+				s.replayApplied = make(map[uint64]struct{}, len(applied))
+			}
+			s.replayApplied[seq] = struct{}{}
+			s.gate.add(seq)
+		}
+	}
 }
 
 // framesSent counts the unique reliable frames sequenced so far this
@@ -260,6 +365,8 @@ func (s *session) reset() {
 	s.acked = 0
 	s.lastSeqSeen = 0
 	s.lastAckSent = 0
+	s.replayApplied = nil
+	s.gate = seqCover{}
 }
 
 // adopt installs the identity a frameAssign dictates (worker side) and

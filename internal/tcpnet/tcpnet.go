@@ -73,6 +73,13 @@ const (
 	framePeerHelloOK // worker → worker: peer-link handshake accepted
 	framePeerEpoch   // coordinator → worker: a peer was reassigned; reset its link under the new epoch
 	framePeerDown    // coordinator → worker: a peer is dead; drop its link and its traffic
+	// frameCoordResume is the extended redial hello a worker sends in place
+	// of frameResume: on top of (session, epoch, lastSeqSeen, canReplay) it
+	// carries the worker's outbound ack floor and a digest of its assigned
+	// node set, so a coordinator restored from a write-ahead checkpoint can
+	// prove the worker's session state matches the replayed log before
+	// accepting a rung-1 re-attach.
+	frameCoordResume
 )
 
 // frame is the wire unit in both directions.
@@ -99,9 +106,16 @@ type frame struct {
 	MapIDs     []int32
 	MapWorkers []int32
 
-	// frameResume / frameResumeOK / framePeerHello / framePeerHelloOK
+	// frameResume / frameResumeOK / framePeerHello / framePeerHelloOK /
+	// frameCoordResume
 	LastSeq   uint64
 	CanReplay bool
+
+	// frameCoordResume extension: the highest coordinator seq the worker
+	// has acked (its retransmit-buffer floor) and the digest of its
+	// (session, epoch, assigned node ids).
+	AckedSeq uint64
+	Digest   uint64
 
 	// framePeerAddr: the worker's advertised data-plane listener address.
 	Addr string
@@ -208,6 +222,15 @@ type resumeRequest struct {
 	epoch     uint32
 	lastSeq   uint64
 	canReplay bool
+	// frameCoordResume extension (hasDigest): the worker's ack floor and
+	// its assignment digest, cross-checked against a replayed checkpoint.
+	hasDigest bool
+	ackedSeq  uint64
+	digest    uint64
+	// peerAddr is the data-plane listener a blank p2p worker re-advertised
+	// ahead of its hello; it pins the worker to the slot whose logged
+	// address book entry it matches.
+	peerAddr string
 }
 
 // workerConn is the coordinator's view of one worker.
@@ -226,6 +249,10 @@ type workerConn struct {
 
 	resumeDeadline time.Time // while reconnecting: give up on resume after this
 	failCause      error     // what broke the last connection
+	// restored marks a worker whose session positions came from a
+	// checkpoint replay rather than live traffic: its next resume must
+	// pass the digest cross-check, and counts as a re-attachment.
+	restored bool
 
 	// Latest worker-reported per-peer data-plane counters (p2p mode).
 	peerEmitted   []int64
@@ -239,6 +266,11 @@ type localDelivery struct {
 	from rt.NodeID
 	to   rt.NodeID
 	msg  rt.Message
+	// srcSeq is the session sequence number of the worker frame that
+	// carried the message (coordinator queue only; 0 for local senders and
+	// injections). It rides into the delivery's checkpoint record so
+	// replay can tell which frames of the worker's stream the log covers.
+	srcSeq uint64
 }
 
 // FailureHandler is notified when a worker is declared dead (or was
@@ -269,8 +301,9 @@ type Coordinator struct {
 	closed     bool
 	done       chan struct{} // closed by Close; cancels background redials
 
-	cfgBlob   []byte
-	perWorker [][]int32
+	cfgBlob     []byte
+	perWorker   [][]int32
+	sessionBase uint64
 
 	// p2p data plane (WithP2P): peer address book collected at bootstrap
 	// and the coordinator-owned per-worker peer epochs, bumped on every
@@ -299,6 +332,18 @@ type Coordinator struct {
 	checksumFails int64 // corrupted frames the coordinator's read loops rejected
 	relayedMsgs   int64 // worker→worker messages relayed through the coordinator
 	relayedBytes  int64 // payload bytes of those relayed messages
+
+	// Crash-recovery checkpointing (WithCheckpoint; see checkpoint.go).
+	ckpt        *ckptWriter
+	crashArmed  bool  // WithCrashPoint trigger not yet fired
+	crashPhase  int   // phase the injected crash targets (-1: whole-log record count)
+	crashRecs   int64 // records into that phase (or total) before the kill
+	killed      bool  // crash fired: route is a no-op, Drain returns ErrCoordKilled
+	drains      int   // completed Drain calls (phase barriers logged)
+	rootInjects int   // restored: injected-message prefix of the interrupted phase
+	restarts    int64 // restorations in this coordinator's log lineage
+	replayed    int64 // checkpoint records replayed by this restoration
+	reattached  int64 // restored workers accepted back on rung 1
 }
 
 // Option configures a Coordinator.
@@ -433,12 +478,24 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 		}
 		c.peerEpochs = make([]uint32, len(conns))
 	}
+	if c.ckpt != nil {
+		if c.resumeL == nil {
+			return nil, errors.New("tcpnet: WithCheckpoint requires WithResume; recovery is worker-initiated re-attachment")
+		}
+		if c.reconnect != nil {
+			return nil, errors.New("tcpnet: WithCheckpoint is incompatible with WithReconnect")
+		}
+	}
+	if c.crashArmed && c.ckpt == nil {
+		return nil, errors.New("tcpnet: WithCrashPoint requires WithCheckpoint")
+	}
 	// Session ids only need to be unique within a run and unlikely to
 	// collide with a stale worker from a previous run redialing the same
 	// port; a timestamp base with the worker index in the low bits does.
 	// Peer-pair sessions carve out the 0x8000 bit of the same low range
 	// (see pairSession), so they can never collide with a worker session.
 	base := uint64(time.Now().UnixNano()) &^ 0xFFFF
+	c.sessionBase = base
 	now := time.Now()
 	readers := make([]*wireReader, len(conns))
 	for i, conn := range conns {
@@ -467,8 +524,17 @@ func NewCoordinator(cfgBlob []byte, assignment map[rt.NodeID]int, conns []net.Co
 	for i, conn := range conns {
 		w := &workerConn{conn: conn, lastHeard: now,
 			sess: newSession(base|uint64(i), c.retransFrames, c.retransBytes)}
+		if c.ckpt != nil {
+			w.sess.enableAckGate()
+		}
 		c.bySession[w.sess.id] = i
 		c.workers = append(c.workers, w)
+	}
+	// The header must be on disk before any record that refers to its
+	// topology — and before any worker traffic that could log one.
+	c.logRecord(c.headerRecord())
+	if c.fatal != nil {
+		return nil, c.fatal
 	}
 	for i, conn := range conns {
 		w := c.workers[i]
@@ -615,14 +681,31 @@ func (c *Coordinator) resumeHandshake(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	// A blank p2p worker re-advertises its data-plane listener ahead of
+	// the hello, mirroring the bootstrap sequence, so the coordinator can
+	// seat it in the slot its logged address book assigns that listener.
+	peerAddr := ""
+	if f.Kind == framePeerAddr {
+		peerAddr = f.Addr
+		putFrame(f)
+		if f, err = r.ReadFrame(); err != nil {
+			_ = conn.Close()
+			return
+		}
+	}
 	_ = conn.SetReadDeadline(time.Time{})
-	if f.Kind != frameResume {
+	if f.Kind != frameResume && f.Kind != frameCoordResume {
 		putFrame(f)
 		_ = conn.Close()
 		return
 	}
-	req := &resumeRequest{conn: conn, r: r,
+	req := &resumeRequest{conn: conn, r: r, peerAddr: peerAddr,
 		session: f.Session, epoch: f.Epoch, lastSeq: f.LastSeq, canReplay: f.CanReplay}
+	if f.Kind == frameCoordResume {
+		req.hasDigest = true
+		req.ackedSeq = f.AckedSeq
+		req.digest = f.Digest
+	}
 	putFrame(f)
 	select {
 	case c.inbox <- taggedFrame{resume: req}:
@@ -647,17 +730,41 @@ func (c *Coordinator) Register(id rt.NodeID, a rt.Actor) {
 
 // Inject implements runtime.Engine.
 func (c *Coordinator) Inject(to rt.NodeID, m rt.Message) {
-	c.route(rt.NoNode, to, m)
+	c.route(rt.NoNode, to, m, 0)
 }
 
-func (c *Coordinator) route(from, to rt.NodeID, m rt.Message) {
+// route moves one message toward its destination. srcSeq is the session
+// sequence number of the worker frame that carried it — 0 when the sender
+// is coordinator-local or an injection — and is recorded in the message's
+// checkpoint record (relay here, delivery at enqueue below).
+func (c *Coordinator) route(from, to rt.NodeID, m rt.Message, srcSeq uint64) {
+	if c.killed {
+		return
+	}
 	if w, remote := c.assignment[to]; remote {
-		if _, fromRemote := c.assignment[from]; fromRemote {
+		_, fromRemote := c.assignment[from]
+		if fromRemote {
 			// Worker→worker traffic relaying through the star hub — the
 			// bandwidth the p2p data plane exists to remove. In p2p mode
 			// this stays ~0: workers ship it over direct links instead.
 			c.relayedMsgs++
 			c.relayedBytes += int64(m.WireSize())
+		}
+		if c.ckpt != nil && (fromRemote || from == rt.NoNode) {
+			// Write-ahead: replay cannot regenerate a send whose cause
+			// lives on a worker (a relay) or nowhere (an injection), so
+			// the message itself goes in the log — before the state
+			// check below, so the log sees exactly what route saw.
+			c.logRecord(&wire.CkptRecord{Kind: wire.CkptRelay,
+				From: int32(from), To: int32(to), Worker: int32(w), Seq: srcSeq, Msg: m})
+			if c.killed {
+				return
+			}
+			if srcSeq > 0 {
+				// The carrying frame's event is now durably logged, so its
+				// ack may leave (write-ahead ack gating).
+				c.workers[c.assignment[from]].sess.logged(srcSeq)
+			}
 		}
 		wc := c.workers[w]
 		if wc.state != stateLive {
@@ -698,7 +805,12 @@ func (c *Coordinator) route(from, to rt.NodeID, m rt.Message) {
 		}
 		return
 	}
-	c.queue = append(c.queue, localDelivery{from: from, to: to, msg: m})
+	// Local deliveries are logged at dequeue time (see Drain), not here:
+	// the record stream must be in processing order, because replay
+	// re-runs each Receive at its record's position to regenerate the
+	// sends it caused — and those sends' sequence numbers only come out
+	// right if replay meets them in the exact order route first did.
+	c.queue = append(c.queue, localDelivery{from: from, to: to, msg: m, srcSeq: srcSeq})
 }
 
 // send enqueues f on worker i's outbox. The fast path never blocks; while
@@ -774,10 +886,36 @@ func (c *Coordinator) failWorker(i int, cause error) {
 	c.markDead(i, cause)
 }
 
+// scrubQueuedSeqs zeroes the source sequence number of every queued local
+// delivery that originated on worker i. Called when i's session epoch is
+// invalidated (rung-2 reassignment, death): the messages themselves are
+// still valid to deliver, but their sequence numbers belong to the dead
+// epoch — logging them against the fresh epoch would corrupt both the
+// live ack gate and a replayed log's receive-coverage set.
+func (c *Coordinator) scrubQueuedSeqs(i int) {
+	for k := range c.queue {
+		if c.queue[k].srcSeq == 0 {
+			continue
+		}
+		if w, remote := c.assignment[c.queue[k].from]; remote && w == i {
+			c.queue[k].srcSeq = 0
+		}
+	}
+}
+
 // markDead tombstones worker i: peers are told to drop their direct links
 // to it (p2p), and the failure handler (or Drain's fatal error) takes over.
 func (c *Coordinator) markDead(i int, cause error) {
 	c.workers[i].state = stateDead
+	c.scrubQueuedSeqs(i)
+	if c.ckpt != nil {
+		// Ahead of the peer-down broadcasts it implies and of the death
+		// notification, whose injected messages get their own records.
+		c.logRecord(&wire.CkptRecord{Kind: wire.CkptDeath, Worker: int32(i)})
+		if c.killed {
+			return
+		}
+	}
 	if c.p2p {
 		for j, w := range c.workers {
 			if j == i || w.state == stateDead {
@@ -921,6 +1059,29 @@ func (c *Coordinator) applyRedial(i int, r *redialResult) {
 // epoch (rung 2).
 func (c *Coordinator) applyResume(req *resumeRequest) {
 	i, ok := c.bySession[req.session]
+	blank := false
+	if !ok && !c.closed && req.hasDigest && req.session == 0 && req.epoch == 0 &&
+		req.lastSeq == 0 && req.ackedSeq == 0 && req.digest == assignDigest(0, 0, nil) {
+		// A parked worker orphaned before its first assignment ever
+		// reached it. It has no session identity to present, but it is a
+		// blank slate, and any slot the log never heard a frame from is
+		// indistinguishable from the one it lost — so seat it in the first
+		// such slot by re-sending the assignment and replaying the slot's
+		// entire sequenced stream from the retransmit buffer. That is
+		// exact, and cheaper than the purge rung: nothing the worker held
+		// is lost, because it never held anything. In p2p mode blank
+		// workers are NOT interchangeable — every peer dials the address
+		// book — so the re-advertised listener must pin the claim to the
+		// one slot whose logged address it matches.
+		for k, wk := range c.workers {
+			if wk.state == stateReconnecting && wk.sess.seen() == 0 &&
+				wk.sess.ackedNow() == 0 && wk.sess.resumable() &&
+				(!c.p2p || (req.peerAddr != "" && c.peerAddrs[k] == req.peerAddr)) {
+				i, ok, blank = k, true, true
+				break
+			}
+		}
+	}
 	if !ok || c.closed {
 		_ = req.conn.Close()
 		return
@@ -944,39 +1105,100 @@ func (c *Coordinator) applyResume(req *resumeRequest) {
 		}
 	}
 	sess := w.sess
-	if req.epoch == sess.epochNow() && req.canReplay && sess.resumable() {
+	// Rung-1 eligibility. The base conditions are the live-coordinator
+	// ones: same epoch, both retransmit buffers intact. The rest are
+	// identities on a live coordinator but do real work after a
+	// checkpoint restore, where the buffer and positions are replay
+	// regenerations:
+	//   - lastSeq ∈ [acked, framesSent]: the worker saw everything below
+	//     our buffer's floor, and nothing the replayed log does not know
+	//     about (a frame beyond the log's horizon — a torn tail, an
+	//     unlogged relay — breaks this);
+	//   - ackedSeq ≤ seen: no worker-side frame was acked and pruned
+	//     beyond our replayed receive position (an ack outran the log);
+	//   - digest match: the worker's (session, epoch, node set) is the
+	//     one the replayed log assigns it. A legacy frameResume carries
+	//     no digest and is never trusted by a restored coordinator.
+	ok = blank || (req.epoch == sess.epochNow() && req.canReplay && sess.resumable() &&
+		req.lastSeq >= sess.ackedNow() && req.lastSeq <= uint64(sess.framesSent()) &&
+		req.ackedSeq <= sess.seen())
+	if ok && !blank {
+		if req.hasDigest {
+			ok = req.digest == assignDigest(sess.id, req.epoch, c.perWorker[i])
+		} else {
+			ok = !w.restored
+		}
+	}
+	if ok {
 		// Rung 1: both retransmit buffers survived intact. Trim ours to
 		// the worker's receive position and replay only the rest; tell
 		// the worker our position so it does the same. Counters are NOT
 		// reset — with exactly-once delivery restored, the quiescence
-		// predicate carries straight across the disconnect.
+		// predicate carries straight across the disconnect. A blank
+		// worker is the degenerate case: position zero, so the replay is
+		// the slot's whole stream, prefixed by the assignment it missed.
 		sess.peerAck(req.lastSeq)
 		retrans := sess.unackedSince(req.lastSeq)
-		okf := getFrame()
-		okf.Kind, okf.LastSeq = frameResumeOK, sess.seen()
+		var okf *frame
+		if blank {
+			okf = c.assignFrame(i, sess.epochNow())
+		} else {
+			okf = getFrame()
+			// Advertise the ackable position, not the raw receive position:
+			// on a gated (checkpointing) session a frame may be seen but its
+			// event not yet logged, and the worker trims its retransmit
+			// buffer to this value — trimming an unlogged frame would put it
+			// beyond recovery if we crash before its record lands. The
+			// worker replays from here; anything in (ackable, seen] is shed
+			// as a duplicate by the sequence window.
+			okf.Kind, okf.LastSeq = frameResumeOK, sess.ackable()
+		}
 		w.conn = req.conn
 		w.gen++
 		w.state = stateLive
 		w.lastHeard = time.Now()
 		w.resumeDeadline = time.Time{}
 		w.failCause = nil
+		if w.restored {
+			w.restored = false
+			c.reattached++
+		}
 		c.startWriter(w, req.conn, okf, retrans)
 		go c.readLoop(i, w.gen, req.r)
 		c.resumes++
 		c.retransmitted += int64(len(retrans))
 		return
 	}
-	// Rung 2: the window overflowed (or the epochs disagree). Reassign the
-	// worker from scratch under a fresh epoch and let the failure handler
-	// run the join layer's purge + re-stream recovery.
+	// Rung 2: the window overflowed, the epochs disagree, or a restored
+	// coordinator could not prove the worker's session matches the
+	// replayed log. Reassign the worker from scratch under a fresh epoch
+	// and let the failure handler run the join layer's purge + re-stream
+	// recovery.
 	cause := w.failCause
 	if cause == nil {
 		cause = errors.New("connection lost")
 	}
-	cause = fmt.Errorf("session %#x not resumable (epoch %d/%d, replayable %v/%v): %w",
-		req.session, req.epoch, sess.epochNow(), req.canReplay, sess.resumable(), cause)
+	cause = fmt.Errorf("session %#x not resumable (epoch %d/%d, replayable %v/%v, seen %d of [%d, %d], restored %v): %w",
+		req.session, req.epoch, sess.epochNow(), req.canReplay, sess.resumable(),
+		req.lastSeq, sess.ackedNow(), sess.framesSent(), w.restored, cause)
+	w.restored = false
 	epoch := sess.bumpEpoch()
 	sess.reset()
+	c.scrubQueuedSeqs(i)
+	peerEpoch := uint32(0)
+	if c.p2p {
+		peerEpoch = c.peerEpochs[i] + 1
+	}
+	if c.ckpt != nil {
+		// Ahead of the broadcasts bumpPeerEpoch is about to sequence —
+		// replay derives those sends from this record.
+		c.logRecord(&wire.CkptRecord{Kind: wire.CkptEpoch, Worker: int32(i),
+			SessEpoch: epoch, PeerEpoch: peerEpoch})
+		if c.killed {
+			_ = req.conn.Close()
+			return
+		}
+	}
 	c.bumpPeerEpoch(i)
 	af := c.assignFrame(i, epoch)
 	w.conn = req.conn
@@ -1143,6 +1365,26 @@ func (c *Coordinator) Drain() error {
 			}
 			d := c.queue[0]
 			c.queue = c.queue[1:]
+			if c.ckpt != nil {
+				// Write-ahead, in processing order: the record lands
+				// before the Receive it describes, so a crash between the
+				// two replays the Receive (and re-derives its sends into
+				// the retransmit buffers) rather than losing it.
+				srcW := int32(-1)
+				if w, remote := c.assignment[d.from]; remote {
+					srcW = int32(w)
+				}
+				c.logRecord(&wire.CkptRecord{Kind: wire.CkptDelivery,
+					From: int32(d.from), To: int32(d.to), Worker: srcW, Seq: d.srcSeq, Msg: d.msg})
+				if c.killed {
+					continue // the fatal check above ends the drain
+				}
+				if srcW >= 0 && d.srcSeq > 0 {
+					// Write-ahead ack gating: the carrying frame's event is
+					// in the log now, so its ack may leave.
+					c.workers[srcW].sess.logged(d.srcSeq)
+				}
+			}
 			env.self = d.to
 			c.local[d.to].Receive(env, d.from, d.msg)
 			c.absorb()
@@ -1160,6 +1402,13 @@ func (c *Coordinator) Drain() error {
 				return c.fatal
 			}
 			if len(c.queue) == 0 && c.quiescent() {
+				if c.ckpt != nil {
+					c.logRecord(&wire.CkptRecord{Kind: wire.CkptPhase, Phase: int32(c.drains)})
+					if c.fatal != nil {
+						return c.fatal
+					}
+				}
+				c.drains++
 				return nil
 			}
 			continue
@@ -1324,7 +1573,7 @@ func (c *Coordinator) apply(tf taggedFrame) {
 	switch f.Kind {
 	case frameMsg:
 		w.received++
-		c.route(rt.NodeID(f.From), rt.NodeID(f.To), f.Msg)
+		c.route(rt.NodeID(f.From), rt.NodeID(f.To), f.Msg, f.Seq)
 	case frameReport:
 		w.processed = f.Processed
 		w.emitted = f.Emitted
@@ -1336,6 +1585,16 @@ func (c *Coordinator) apply(tf taggedFrame) {
 		w.repWDropped = f.WDropped
 		w.peerEmitted = append(w.peerEmitted[:0], f.PeerEmitted...)
 		w.peerProcessed = append(w.peerProcessed[:0], f.PeerProcessed...)
+		if c.ckpt != nil {
+			// Every accepted reliable frame must land in the log once —
+			// frameMsg does via route — so a restored coordinator's
+			// receive position matches what it acked pre-crash.
+			c.logRecord(&wire.CkptRecord{Kind: wire.CkptMark, Worker: int32(tf.worker),
+				Seq: f.Seq, Ack: f.Ack, Processed: w.processed, Emitted: w.emitted})
+			if !c.killed {
+				w.sess.logged(f.Seq)
+			}
+		}
 	case framePong, frameAck:
 		// lastHeard and peerAck updates above are the whole point.
 	}
@@ -1378,6 +1637,9 @@ func (c *Coordinator) TransportStats() rt.TransportStats {
 		DroppedMessages:     c.dropped,
 		RelayedMessages:     c.relayedMsgs,
 		RelayedBytes:        c.relayedBytes,
+		CoordRestarts:       c.restarts,
+		CheckpointReplays:   c.replayed,
+		ReattachedWorkers:   c.reattached,
 	}
 	for _, w := range c.workers {
 		ts.FramesSent += w.sess.framesSent() + w.repWFrames
@@ -1395,7 +1657,9 @@ func (c *Coordinator) TransportStats() rt.TransportStats {
 // Close shuts every live worker down, waits for each writer goroutine to
 // flush, and closes the connections. Closing the resume listener first is
 // what lets workers distinguish shutdown from failure: a redial refused
-// after EOF means the run is over.
+// after EOF means the run is over. (A coordinator downed by its crash
+// point has nothing left to close: kill already severed every connection
+// with no shutdown frame, and marked the workers dead.)
 func (c *Coordinator) Close() {
 	if c.closed {
 		return
@@ -1434,7 +1698,7 @@ type coordEnv struct {
 func (e *coordEnv) Now() int64 { return time.Since(e.c.start).Nanoseconds() }
 
 // Send implements runtime.Env.
-func (e *coordEnv) Send(to rt.NodeID, m rt.Message) { e.c.route(e.self, to, m) }
+func (e *coordEnv) Send(to rt.NodeID, m rt.Message) { e.c.route(e.self, to, m, 0) }
 
 // ChargeCPU implements runtime.Env as a no-op.
 func (e *coordEnv) ChargeCPU(ns int64) {}

@@ -101,6 +101,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Kind: framePing},
 		{Kind: framePong},
 		{Kind: frameResume, Session: 0xABCD0001, Epoch: 2, LastSeq: 77, CanReplay: true},
+		{Kind: frameCoordResume, Session: 0xABCD0001, Epoch: 2, LastSeq: 77,
+			AckedSeq: 70, Digest: 0x0123456789ABCDEF, CanReplay: true},
 		{Kind: frameResumeOK, LastSeq: 1234},
 		{Kind: frameAck},
 		{Kind: frameShutdown},
@@ -126,6 +128,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			got.Processed != want.Processed || got.Emitted != want.Emitted ||
 			got.Session != want.Session || got.Epoch != want.Epoch ||
 			got.LastSeq != want.LastSeq || got.CanReplay != want.CanReplay ||
+			got.AckedSeq != want.AckedSeq || got.Digest != want.Digest ||
 			got.WFrames != want.WFrames || got.WResumes != want.WResumes ||
 			got.WRetrans != want.WRetrans || got.WChecksum != want.WChecksum ||
 			got.WDups != want.WDups {

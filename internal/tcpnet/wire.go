@@ -134,6 +134,17 @@ func appendFrame(dst []byte, f *frame, seq, ack uint64) ([]byte, error) {
 			replay = 1
 		}
 		dst = append(dst, replay)
+	case frameCoordResume:
+		dst = binary.LittleEndian.AppendUint64(dst, f.Session)
+		dst = binary.LittleEndian.AppendUint32(dst, f.Epoch)
+		dst = binary.LittleEndian.AppendUint64(dst, f.LastSeq)
+		dst = binary.LittleEndian.AppendUint64(dst, f.AckedSeq)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Digest)
+		var replay byte
+		if f.CanReplay {
+			replay = 1
+		}
+		dst = append(dst, replay)
 	case frameResumeOK:
 		dst = binary.LittleEndian.AppendUint64(dst, f.LastSeq)
 	case framePeerAddr:
@@ -434,6 +445,16 @@ func (r *wireReader) ReadFrame() (*frame, error) {
 		f.Epoch = binary.LittleEndian.Uint32(body[8:])
 		f.LastSeq = binary.LittleEndian.Uint64(body[12:])
 		f.CanReplay = body[20] != 0
+	case frameCoordResume:
+		if len(body) < 37 {
+			return bad()
+		}
+		f.Session = binary.LittleEndian.Uint64(body)
+		f.Epoch = binary.LittleEndian.Uint32(body[8:])
+		f.LastSeq = binary.LittleEndian.Uint64(body[12:])
+		f.AckedSeq = binary.LittleEndian.Uint64(body[20:])
+		f.Digest = binary.LittleEndian.Uint64(body[28:])
+		f.CanReplay = body[36] != 0
 	case frameResumeOK:
 		if len(body) < 8 {
 			return bad()

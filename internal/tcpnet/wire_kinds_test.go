@@ -40,6 +40,8 @@ func kindFixtures() map[frameKind]*frame {
 		framePeerHelloOK: {Kind: framePeerHelloOK, LastSeq: 41},
 		framePeerEpoch:   {Kind: framePeerEpoch, From: 2, Epoch: 4},
 		framePeerDown:    {Kind: framePeerDown, From: 2},
+		frameCoordResume: {Kind: frameCoordResume, Session: 77, Epoch: 3,
+			LastSeq: 41, AckedSeq: 38, Digest: 0xDEADBEEFCAFEF00D, CanReplay: true},
 	}
 }
 

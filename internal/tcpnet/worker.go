@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"os"
 	"time"
 
 	rt "ehjoin/internal/runtime"
@@ -27,6 +29,7 @@ type workerOpts struct {
 	dial       func() (net.Conn, error)
 	attempts   int
 	backoff    time.Duration
+	park       bool
 	maxFrames  int
 	maxBytes   int
 	peerListen string
@@ -76,6 +79,18 @@ func WithWorkerP2P(listen string) WorkerOption {
 	}
 }
 
+// WithWorkerPark makes the worker ride out a coordinator crash: a clean
+// EOF (exactly what a killed coordinator's closing TCP stack sends) no
+// longer short-circuits the redial loop on the first refused dial.
+// Instead the worker parks — it keeps its actor state and retransmit
+// buffer and works through the full redial schedule, re-attaching via the
+// extended resume handshake when a restarted coordinator re-binds the
+// listener. Only after every attempt is refused does a clean EOF count as
+// a normal shutdown. Requires WithWorkerResume.
+func WithWorkerPark() WorkerOption {
+	return func(o *workerOpts) { o.park = true }
+}
+
 // WithWorkerPeerChaos interposes wrap on every peer connection this worker
 // dials — the hook the chaos property suite uses to inject faults on
 // worker↔worker links without touching the coordinator link.
@@ -115,6 +130,7 @@ func RunWorker(conn net.Conn, factory ActorFactory, opts ...WorkerOption) error 
 		enc:     newSessionWriter(conn, sess),
 		actors:  make(map[rt.NodeID]rt.Actor),
 		start:   time.Now(),
+		rng:     newRedialRNG(),
 	}
 	r := newWireReader(conn)
 	for {
@@ -224,6 +240,13 @@ type worker struct {
 	assigned bool
 	p2p      *p2pState // peer-to-peer data plane; nil in star mode
 
+	// assignedIDs is the sorted node-id set from the last frameAssign,
+	// hashed into the re-attach digest so a restarted coordinator can
+	// cross-check this worker's claimed assignment against its replayed
+	// log before granting a cheap resume.
+	assignedIDs []int32
+	rng         *rand.Rand // redial jitter; per-worker, never the global source
+
 	processed    int64 // cumulative coordinator-delivered frames handled
 	emitted      int64 // cumulative messages written to the coordinator
 	repProcessed int64 // processed as of the last report sent
@@ -256,6 +279,8 @@ func (w *worker) applyAssign(f *frame) error {
 		actors[rt.NodeID(id)] = a
 	}
 	w.actors = actors
+	// The frame is pooled; the id set must outlive it for future handshakes.
+	w.assignedIDs = append(w.assignedIDs[:0], f.IDs...)
 	w.queue = nil
 	w.processed, w.emitted = 0, 0
 	w.repProcessed, w.repEmitted = 0, 0
@@ -269,6 +294,29 @@ func (w *worker) applyAssign(f *frame) error {
 	return nil
 }
 
+// newRedialRNG seeds a per-worker jitter source. Wall clock alone would
+// hand co-spawned workers (same `for` loop, same millisecond) correlated
+// seeds, so the pid is mixed in; determinism is not wanted here — the
+// whole point is that real workers spread out.
+func newRedialRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(os.Getpid())<<32))
+}
+
+// redialDelay spaces redial attempts so that N workers orphaned by the
+// same coordinator crash do not stampede the restarted listener in the
+// same instant. The first attempt waits a random fraction of half the
+// backoff (quick, but decorrelated); every later attempt waits backoff/2
+// plus a random backoff — full jitter around the configured pace.
+func redialDelay(attempt int, base time.Duration, rng *rand.Rand) time.Duration {
+	if base <= 0 || rng == nil {
+		return 0
+	}
+	if attempt == 0 {
+		return time.Duration(rng.Int63n(int64(base)/2 + 1))
+	}
+	return base/2 + time.Duration(rng.Int63n(int64(base)+1))
+}
+
 // reconnect handles a broken connection. Returns the reader for the
 // replacement connection, or (nil, nil) for a clean shutdown, or an error
 // when the worker cannot continue.
@@ -278,7 +326,12 @@ func (w *worker) reconnect(cause error) (*wireReader, error) {
 	}
 	_ = w.conn.Close()
 	clean := errors.Is(cause, io.EOF)
-	if w.opts.dial == nil || !w.assigned {
+	// An unassigned worker normally has nothing to resume — except in park
+	// mode, where the coordinator may have crashed before the assignment
+	// ever reached us. Such a worker redials with a blank hello (session 0)
+	// and the restored coordinator seats it in a slot the log never heard
+	// from, replaying that slot's whole stream from the retransmit buffer.
+	if w.opts.dial == nil || (!w.assigned && !w.opts.park) {
 		if clean {
 			return nil, nil
 		}
@@ -286,15 +339,17 @@ func (w *worker) reconnect(cause error) (*wireReader, error) {
 	}
 	lastErr := cause
 	for attempt := 0; attempt < w.opts.attempts; attempt++ {
-		if attempt > 0 && w.opts.backoff > 0 {
-			time.Sleep(w.opts.backoff)
+		if d := redialDelay(attempt, w.opts.backoff, w.rng); d > 0 {
+			time.Sleep(d)
 		}
 		conn, err := w.opts.dial()
 		if err != nil {
-			if clean {
+			if clean && !w.opts.park {
 				// EOF and nobody accepting redials: the coordinator
 				// closed its resume listener before the connections —
-				// a normal shutdown, not a fault.
+				// a normal shutdown, not a fault. In park mode the same
+				// signature means a crashed coordinator whose restart may
+				// still be binding, so keep working the schedule.
 				return nil, nil
 			}
 			lastErr = err
@@ -320,8 +375,20 @@ func (w *worker) reconnect(cause error) (*wireReader, error) {
 // fresh assignment.
 func (w *worker) handshake(conn net.Conn) (*wireReader, error) {
 	enc := newSessionWriter(conn, w.sess)
-	hello := &frame{Kind: frameResume, Session: w.sess.id, Epoch: w.sess.epochNow(),
-		LastSeq: w.sess.seen(), CanReplay: w.sess.resumable()}
+	// A blank p2p worker (orphaned before its first assignment) has no
+	// session identity, so the coordinator can only seat it in the slot
+	// whose logged address book entry matches its data-plane listener.
+	// Re-advertise it ahead of the hello, mirroring the bootstrap sequence.
+	if !w.assigned && w.p2p != nil {
+		if err := enc.WriteFrame(&frame{Kind: framePeerAddr,
+			Addr: advertiseAddr(w.p2p.l.Addr(), conn.LocalAddr())}); err != nil {
+			return nil, err
+		}
+	}
+	epoch := w.sess.epochNow()
+	hello := &frame{Kind: frameCoordResume, Session: w.sess.id, Epoch: epoch,
+		LastSeq: w.sess.seen(), AckedSeq: w.sess.ackedNow(), CanReplay: w.sess.resumable(),
+		Digest: assignDigest(w.sess.id, epoch, w.assignedIDs)}
 	if err := enc.WriteFrame(hello); err != nil {
 		return nil, err
 	}
