@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fmt vet ehjalint staticcheck govulncheck fuzz clean
+.PHONY: all build test race lint lint-json fmt vet ehjalint staticcheck govulncheck fuzz clean
 
 all: build test
 
@@ -29,10 +29,17 @@ vet:
 	$(GO) vet ./...
 
 # The in-tree invariant suite (internal/lint): determinism, channel and
-# lock discipline, wire exhaustiveness, report-counter sync. -v prints the
-# //lint:allow suppressions so exceptions stay auditable.
+# lock discipline, wire and checkpoint exhaustiveness, report-counter sync,
+# goroutine lifetime bounding, WAL log-before-act ordering, and the
+# conservation ledger. -v prints the //lint:allow suppressions so
+# exceptions stay auditable; CHECKS=walorder,ledger runs a subset.
 ehjalint:
-	$(GO) run ./cmd/ehjalint -v ./...
+	$(GO) run ./cmd/ehjalint -v $(if $(CHECKS),-checks $(CHECKS)) ./...
+
+# Machine-readable findings (the CI annotation feed): same suite, same
+# CHECKS filter, JSON on stdout.
+lint-json:
+	$(GO) run ./cmd/ehjalint -json $(if $(CHECKS),-checks $(CHECKS)) ./...
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \

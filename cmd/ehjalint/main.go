@@ -2,12 +2,15 @@
 // module and fails (exit 1) on any finding. It is the mechanical form of
 // the correctness argument the test suite leans on: determinism of the
 // simulated paths, channel and lock discipline in the transport,
-// wire-format exhaustiveness, and report-counter sync.
+// wire-format and checkpoint-kind exhaustiveness, report-counter sync,
+// goroutine lifetime bounding, WAL log-before-act ordering, and
+// conservation-ledger reversal.
 //
 // Usage:
 //
 //	go run ./cmd/ehjalint ./...          # the CI pre-merge gate
 //	go run ./cmd/ehjalint -checks determinism,lockcheck ./internal/...
+//	go run ./cmd/ehjalint -json ./...    # machine-readable findings (CI annotations)
 //	go run ./cmd/ehjalint -list          # describe every analyzer
 //
 // Intentional exceptions are annotated in the source they excuse:
@@ -19,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,11 +31,45 @@ import (
 	"ehjoin/internal/lint"
 )
 
+// jsonDiag is one diagnostic in -json output, flattened for tooling:
+// position fields at the top level so a jq one-liner can turn a finding
+// into a GitHub Actions ::error annotation.
+type jsonDiag struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -json document: findings, suppressions (with their
+// positions, so stale-allow audits can be scripted), and the package count.
+type jsonReport struct {
+	Findings   []jsonDiag `json:"findings"`
+	Suppressed []jsonDiag `json:"suppressed"`
+	Packages   int        `json:"packages"`
+}
+
+func toJSONDiags(ds []lint.Diagnostic) []jsonDiag {
+	out := make([]jsonDiag, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, jsonDiag{
+			Check:   d.Check,
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Message: d.Message,
+		})
+	}
+	return out
+}
+
 func main() {
 	var (
-		checks  = flag.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
-		list    = flag.Bool("list", false, "list the analyzers and exit")
-		verbose = flag.Bool("v", false, "also print suppressed findings")
+		checks   = flag.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		verbose  = flag.Bool("v", false, "also print suppressed findings")
+		jsonMode = flag.Bool("json", false, "emit findings and suppressions as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -73,6 +111,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ehjalint:", err)
 		os.Exit(2)
+	}
+	if *jsonMode {
+		doc := jsonReport{
+			Findings:   toJSONDiags(res.Findings),
+			Suppressed: toJSONDiags(res.Suppressed),
+			Packages:   len(pkgs),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "ehjalint:", err)
+			os.Exit(2)
+		}
+		if len(res.Findings) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	if *verbose {
 		for _, d := range res.Suppressed {

@@ -1,0 +1,49 @@
+package core
+
+// Pinning test for the conservation-ledger fix the ledger analyzer forced:
+// cloned-in probe-phase copies are excluded from Stored (the original
+// owner already counted them), and a purge that drops the copies must
+// reverse the exclusion — before the fix, cloneReceived outlived the
+// clones and the node reported negative Stored for the rest of the run.
+
+import (
+	"testing"
+
+	"ehjoin/internal/hashfn"
+	rt "ehjoin/internal/runtime"
+	"ehjoin/internal/tuple"
+)
+
+func TestPurgeRangeReversesCloneExclusion(t *testing.T) {
+	cfg := actorConfig(Split)
+	j := newJoin(cfg, cfg.joinID(0))
+	table, _ := hashfn.NewTable(cfg.Space, []int32{int32(cfg.joinID(0)), int32(cfg.joinID(1))})
+	env := &scriptEnv{}
+	j.Receive(env, rt.NoNode, &joinInit{Range: table.Entries[0].Range, Table: table})
+
+	// A probe-phase clone lands: the copies are inserted but excluded from
+	// Stored, since conservation counts each build tuple exactly once at
+	// the node that originally stored it.
+	j.Receive(env, cfg.joinID(1), &cloneTuples{Chunk: chunkOf(tuple.RelR, cfg.Build.Layout,
+		0x0100_0000_0000_0000, 0x0200_0000_0000_0000, 0x0300_0000_0000_0000)})
+	if j.cloneReceived != 3 {
+		t.Fatalf("cloneReceived = %d after a 3-tuple clone, want 3", j.cloneReceived)
+	}
+
+	// Failure recovery purges the node's whole range: ExtractRange drops
+	// the copies along with everything else, so the exclusion must go too.
+	j.Receive(env, rt.NoNode, &purgeRange{Range: j.rng, NewOwner: cfg.joinID(1), Table: table})
+	if j.cloneReceived != 0 {
+		t.Errorf("cloneReceived = %d after the purge dropped the copies, want 0", j.cloneReceived)
+	}
+	s := j.snapshot()
+	if s.Stored < 0 {
+		t.Errorf("Stored = %d after clone-then-purge: the clone exclusion outlived the clones", s.Stored)
+	}
+	if s.Purged != 0 {
+		// The three dropped tuples were copies, not conservation originals:
+		// counting them as purged would double-discount them against the
+		// original owner's loss.
+		t.Errorf("Purged = %d after purging only copies, want 0", s.Purged)
+	}
+}

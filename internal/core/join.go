@@ -417,6 +417,16 @@ func (j *joinActor) onPurgeRange(env rt.Env, msg *purgeRange) {
 		j.purged -= n
 		delete(j.heavyCopyCount, k)
 	}
+	// Cloned-in copies live inside this node's owned range; when the purge
+	// covers it, ExtractRange dropped them along with the originals, so
+	// their Stored exclusion must be reversed too — and their contribution
+	// to the purge count, since copies are not conservation originals.
+	// Without this a clone-then-purge leaves cloneReceived pinned and
+	// reports Stored negative forever.
+	if j.cloneReceived > 0 && msg.Range.Lo <= j.rng.Lo && j.rng.Hi <= msg.Range.Hi {
+		j.purged -= j.cloneReceived
+		j.cloneReceived = 0
+	}
 	if j.spillRung != nil {
 		j.purged += j.spillRung.PurgeRange(msg.Range)
 	}

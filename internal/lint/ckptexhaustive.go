@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NewCkptExhaustive returns the checkpoint-kind analyzer, the CkptKind
+// sibling of wireexhaustive. The checkpoint record enum has three homes a
+// new kind must reach — the encoder, the decoder, and the restore-time
+// replay switch — and forgetting the third is the expensive one: the log
+// writes fine, and the bug only surfaces when a kill-point test (or a real
+// crash) replays a record the coordinator does not understand.
+//
+// Per switch, in the packages named "wire" and "tcpnet": every switch whose
+// tag is the CkptKind type must carry a case arm for every declared
+// CkptKind constant (enumerated from the type's defining package, so
+// cross-package switches are covered), a default arm, and a reference to
+// ErrUnknownKind in that default.
+//
+// Program-level, the three anchor switches must exist at all: encode in
+// AppendCheckpointRecord (wire), decode in Next (wire), replay-apply in
+// RestoreCoordinator (tcpnet). Deleting or renaming one breaks the lint
+// gate instead of the first crash-recovery run. The anchor check only
+// fires when the role's home package was loaded and references CkptKind,
+// so fixture and subset runs stay quiet.
+func NewCkptExhaustive() *Analyzer {
+	a := &Analyzer{
+		Name: "ckptexhaustive",
+		Doc: "verifies every CkptKind constant has encode, decode, and replay-apply arms\n" +
+			"with a typed ErrUnknownKind default, so a new checkpoint record kind cannot\n" +
+			"reach production without its replay path",
+	}
+
+	type roleInfo struct {
+		fn    string // function whose body anchors the role's switch
+		home  string // package name the role must live in
+		found bool
+	}
+	roles := map[string]*roleInfo{
+		"encode": {fn: "AppendCheckpointRecord", home: "wire"},
+		"decode": {fn: "Next", home: "wire"},
+		"replay": {fn: "RestoreCoordinator", home: "tcpnet"},
+	}
+	homeSeen := map[string]token.Position{} // loaded packages that reference CkptKind
+
+	a.Run = func(pass *Pass) error {
+		pkgName := pass.Pkg.Name()
+		if pkgName != "wire" && pkgName != "tcpnet" {
+			return nil
+		}
+		sawKind := pass.Pkg.Scope().Lookup("CkptKind") != nil
+		if !sawKind {
+			for _, imp := range pass.Pkg.Imports() {
+				if imp.Scope().Lookup("CkptKind") != nil {
+					sawKind = true
+					break
+				}
+			}
+		}
+		if !sawKind {
+			return nil
+		}
+		if len(pass.Files) > 0 {
+			homeSeen[pkgName] = pass.Fset.Position(pass.Files[0].Name.Pos())
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sw, ok := n.(*ast.SwitchStmt)
+					if !ok {
+						return true
+					}
+					if !checkCkptSwitch(pass, sw) {
+						return true
+					}
+					for _, ri := range roles {
+						if ri.fn == fd.Name.Name && ri.home == pkgName {
+							ri.found = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+
+	a.Finish = func(report func(Diagnostic)) error {
+		for _, role := range []string{"encode", "decode", "replay"} {
+			ri := roles[role]
+			pos, loaded := homeSeen[ri.home]
+			if !loaded || ri.found {
+				continue
+			}
+			report(Diagnostic{Check: "ckptexhaustive", Pos: pos,
+				Message: "no " + role + " switch over CkptKind found in " + ri.fn + ": package " +
+					ri.home + " must dispatch checkpoint records exhaustively there (or the " +
+					"anchor table in ckptexhaustive.go needs the function's new name)"})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkCkptSwitch verifies one switch if its tag is the CkptKind type:
+// full constant coverage against the type's defining package, a default
+// arm, and ErrUnknownKind in the default. Reports whether the switch was a
+// CkptKind switch at all.
+func checkCkptSwitch(pass *Pass, sw *ast.SwitchStmt) bool {
+	if sw.Tag == nil {
+		return false
+	}
+	named, ok := pass.Info.TypeOf(sw.Tag).(*types.Named)
+	if !ok || named.Obj().Name() != "CkptKind" || named.Obj().Pkg() == nil {
+		return false
+	}
+	var consts []*types.Const
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			consts = append(consts, c)
+		}
+	}
+	if len(consts) == 0 {
+		return false
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Name() < consts[j].Name() })
+
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, cl := range sw.Body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			var obj types.Object
+			switch e := e.(type) {
+			case *ast.Ident:
+				obj = pass.Info.Uses[e]
+			case *ast.SelectorExpr:
+				obj = pass.Info.Uses[e.Sel]
+			}
+			if c, ok := obj.(*types.Const); ok {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	for _, c := range consts {
+		if !covered[c.Name()] {
+			pass.Reportf(sw.Pos(), "switch over CkptKind is missing an arm for %s: every checkpoint "+
+				"record kind needs encode, decode, and replay handling", c.Name())
+		}
+	}
+	if defaultClause == nil {
+		pass.Reportf(sw.Pos(), "switch over CkptKind has no default arm: an unknown record must fail "+
+			"with the typed wire.ErrUnknownKind, not fall through silently")
+		return true
+	}
+	if !mentionsIdent(defaultClause, "ErrUnknownKind") {
+		pass.Reportf(defaultClause.Pos(), "default arm of CkptKind switch does not reference "+
+			"ErrUnknownKind: replay and decode must fail typed on a record kind they do not know")
+	}
+	return true
+}

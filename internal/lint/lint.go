@@ -1,9 +1,11 @@
 // Package lint is ehjoin's in-tree static-analysis suite: a small
 // go/analysis-style framework plus the analyzers that mechanically enforce
 // this codebase's correctness invariants — determinism of the simulated
-// paths, channel and lock discipline in the TCP transport, wire-format
-// exhaustiveness, and report-counter sync. The cmd/ehjalint driver runs
-// every analyzer over the module and fails CI on any finding.
+// paths, channel and lock discipline in the TCP transport, wire-format and
+// checkpoint-kind exhaustiveness, report-counter sync, goroutine lifetime
+// bounding, WAL log-before-act ordering, and conservation-ledger reversal.
+// The cmd/ehjalint driver runs every analyzer over the module and fails CI
+// on any finding.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) but is built on the standard library only:
@@ -20,7 +22,9 @@
 // The comment must name the check and give a non-empty reason, and may sit
 // on the flagged line or on the line directly above it. A suppression
 // without a reason is itself reported, so every exception stays visible
-// and justified in the diff.
+// and justified in the diff. So is a stale suppression — an allow whose
+// check ran but silenced nothing — which keeps the exception inventory
+// honest as the code it excused evolves.
 package lint
 
 import (
@@ -87,6 +91,10 @@ func Analyzers() []*Analyzer {
 		NewLockCheck(),
 		NewWireExhaustive(),
 		NewReportSync(),
+		NewGoroLifetime(),
+		NewWalOrder(),
+		NewCkptExhaustive(),
+		NewLedger(),
 	}
 }
 
@@ -136,13 +144,11 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (map[string][]*
 	return byFile, malformed
 }
 
-// applySuppressions filters diags through the package's //lint:allow
+// applySuppressions filters diags through the collected //lint:allow
 // comments: a diagnostic is suppressed when a matching comment sits on its
-// line or the line directly above. It returns the kept diagnostics, the
-// suppressed ones, and diagnostics for malformed or unused suppressions.
-func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) (kept, suppressed, meta []Diagnostic) {
-	byFile, malformed := collectSuppressions(fset, files)
-	meta = append(meta, malformed...)
+// line or the line directly above. Matching suppressions are marked used,
+// so the suite can report the stale ones at the end of a run.
+func applySuppressions(byFile map[string][]*suppression, diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	for _, d := range diags {
 		var hit *suppression
 		for _, s := range byFile[d.Pos.Filename] {
@@ -158,7 +164,32 @@ func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnosti
 		}
 		kept = append(kept, d)
 	}
-	return kept, suppressed, meta
+	return kept, suppressed
+}
+
+// staleSuppressions reports every collected suppression that silenced
+// nothing during the run, restricted to the checks that actually ran (a
+// -checks subset must not flag allows belonging to analyzers it skipped).
+// A stale allow is a lie in the source — it claims an exception that no
+// longer exists — so it is a finding of the pseudo-check "lint".
+func staleSuppressions(byFile map[string][]*suppression, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var stale []Diagnostic
+	for _, ss := range byFile {
+		for _, s := range ss {
+			if !s.used && ran[s.check] {
+				stale = append(stale, Diagnostic{
+					Check: "lint", Pos: s.pos,
+					Message: fmt.Sprintf("stale //lint:allow %s: it suppresses no diagnostic; "+
+						"delete it, or re-justify it against a finding that still exists", s.check),
+				})
+			}
+		}
+	}
+	return stale
 }
 
 // sortDiags orders diagnostics by file, line, column, then check name.
@@ -189,8 +220,21 @@ type Result struct {
 // RunSuite runs every analyzer over the loaded packages, applies
 // suppressions, and returns the combined result. An analyzer error aborts
 // the run: it means the analyzer itself is broken, not the code.
+//
+// Suppressions are collected once, up front, across every loaded file:
+// package file sets never overlap, collecting once reports a malformed
+// comment exactly once even when program-level finishes fire, and the
+// shared used-bits are what let the suite flag stale allows at the end.
 func RunSuite(analyzers []*Analyzer, pkgs []*LoadedPackage) (*Result, error) {
 	res := &Result{}
+	byFile := make(map[string][]*suppression)
+	for _, p := range pkgs {
+		pkgAllows, malformed := collectSuppressions(p.Fset, p.Files)
+		for file, ss := range pkgAllows {
+			byFile[file] = append(byFile[file], ss...)
+		}
+		res.Findings = append(res.Findings, malformed...)
+	}
 	for _, p := range pkgs {
 		var diags []Diagnostic
 		for _, a := range analyzers {
@@ -209,14 +253,13 @@ func RunSuite(analyzers []*Analyzer, pkgs []*LoadedPackage) (*Result, error) {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, p.PkgPath, err)
 			}
 		}
-		kept, supp, meta := applySuppressions(p.Fset, p.Files, diags)
+		kept, supp := applySuppressions(byFile, diags)
 		res.Findings = append(res.Findings, kept...)
-		res.Findings = append(res.Findings, meta...)
 		res.Suppressed = append(res.Suppressed, supp...)
 	}
 	// Program-level finishes: their diagnostics are positioned in whatever
 	// package declares the offending object, so suppressions are resolved
-	// against every loaded file.
+	// against the whole collected set.
 	var finishDiags []Diagnostic
 	for _, a := range analyzers {
 		if a.Finish == nil {
@@ -226,18 +269,10 @@ func RunSuite(analyzers []*Analyzer, pkgs []*LoadedPackage) (*Result, error) {
 			return nil, fmt.Errorf("lint: %s finish: %w", a.Name, err)
 		}
 	}
-	if len(finishDiags) > 0 {
-		var allFiles []*ast.File
-		var fset *token.FileSet
-		for _, p := range pkgs {
-			allFiles = append(allFiles, p.Files...)
-			fset = p.Fset
-		}
-		kept, supp, meta := applySuppressions(fset, allFiles, finishDiags)
-		res.Findings = append(res.Findings, kept...)
-		res.Findings = append(res.Findings, meta...)
-		res.Suppressed = append(res.Suppressed, supp...)
-	}
+	kept, supp := applySuppressions(byFile, finishDiags)
+	res.Findings = append(res.Findings, kept...)
+	res.Suppressed = append(res.Suppressed, supp...)
+	res.Findings = append(res.Findings, staleSuppressions(byFile, analyzers)...)
 	sortDiags(res.Findings)
 	sortDiags(res.Suppressed)
 	return res, nil

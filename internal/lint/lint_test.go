@@ -110,6 +110,10 @@ func TestChanSendFixture(t *testing.T)       { runFixture(t, "chansend", "tcpnet
 func TestLockCheckFixture(t *testing.T)      { runFixture(t, "lockcheck", "hashtable") }
 func TestWireExhaustiveFixture(t *testing.T) { runFixture(t, "wireexhaustive", "wire") }
 func TestReportSyncFixture(t *testing.T)     { runFixture(t, "reportsync", "core") }
+func TestGoroLifetimeFixture(t *testing.T)   { runFixture(t, "gorolifetime", "goro") }
+func TestWalOrderFixture(t *testing.T)       { runFixture(t, "walorder", "walorder") }
+func TestCkptExhaustiveFixture(t *testing.T) { runFixture(t, "ckptexhaustive", "ckpt") }
+func TestLedgerFixture(t *testing.T)         { runFixture(t, "ledger", "ledger") }
 
 // TestSuppressionSyntax pins the grammar: an allow comment without a reason
 // is itself a finding and suppresses nothing.
@@ -139,6 +143,39 @@ func TestSuppressionSyntax(t *testing.T) {
 	}
 	if !haveClock {
 		t.Errorf("reasonless allow must not silence the underlying finding; got %v", res.Findings)
+	}
+}
+
+// TestStaleSuppression pins the stale-allow rule: an allow that suppresses
+// a finding is used, an allow whose check ran but suppressed nothing is a
+// "lint" finding at its own position, and an allow for a check that did
+// not run is left alone — a -checks subset must not flag the other
+// analyzers' exceptions.
+func TestStaleSuppression(t *testing.T) {
+	pkgs, err := Load("./testdata/src/stalesup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSuite([]*Analyzer{NewDeterminism()}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Errorf("suppressed %d finding(s), want 1 (the real clock allow)", len(res.Suppressed))
+	}
+	stale := 0
+	for _, d := range res.Findings {
+		switch {
+		case d.Check == "lint" && strings.Contains(d.Message, "stale //lint:allow determinism"):
+			stale++
+		case strings.Contains(d.Message, "chansend"):
+			t.Errorf("allow for a check that did not run was flagged: %s", d)
+		default:
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	if stale != 1 {
+		t.Errorf("found %d stale-allow finding(s), want exactly 1", stale)
 	}
 }
 

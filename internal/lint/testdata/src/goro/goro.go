@@ -1,0 +1,113 @@
+// Package tcpnet is the gorolifetime-analyzer fixture: every go statement
+// must spawn a body that provably exits at shutdown — joined by a
+// WaitGroup, looping only until an error or a closable-channel signal, or
+// containing no suspect loop at all. The unbounded retry pump is the PR 7
+// redial-leak shape the analyzer exists to catch.
+package tcpnet
+
+import (
+	"errors"
+	"sync"
+)
+
+type conn struct{}
+
+func (c *conn) read() (byte, error) { return 0, errors.New("eof") }
+
+type peer struct {
+	done   chan struct{}
+	frames chan int
+}
+
+func (p *peer) shutdown() {
+	close(p.done)
+	close(p.frames)
+}
+
+// The redial-leak shape: retry forever, no exit a shutdown can reach.
+func (p *peer) redialForever(dial func() error) {
+	go func() { // want `not provably lifecycle-bounded`
+		for {
+			if dial() == nil {
+				continue
+			}
+		}
+	}()
+}
+
+// Spawning a body the package cannot see is itself a finding.
+func spawnOpaque(f func()) {
+	go f() // want `whose body this package cannot see`
+}
+
+// Bounded: the read-until-error connection loop.
+func (p *peer) readLoop(c *conn) {
+	go func() {
+		for {
+			if _, err := c.read(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Bounded: a done-channel select arm, and the package closes done.
+func (p *peer) ticker() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case f := <-p.frames:
+				_ = f
+			}
+		}
+	}()
+}
+
+// Bounded: joined by a WaitGroup.
+func pool(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+		}
+	}()
+}
+
+// Bounded: ranging a channel the package closes drains to termination.
+func (p *peer) drain() {
+	go func() {
+		for range p.frames {
+		}
+	}()
+}
+
+// Bounded: no loop at all — the body runs to its end.
+func (p *peer) handshake(f func()) {
+	go func() { f() }()
+}
+
+// A spawned declaration is resolved and checked like a literal.
+func (p *peer) run() {
+	for {
+		select {
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (p *peer) start() {
+	go p.run()
+}
+
+// An intentional exception must carry its reason.
+func metricsForever(tick func()) {
+	//lint:allow gorolifetime fixture: process-lifetime metrics pump, torn down with the process
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}

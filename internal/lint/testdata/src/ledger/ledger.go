@@ -1,0 +1,27 @@
+// Package core is the ledger-analyzer fixture: every conservation counter
+// in the curated table must pair its accruals with a reversal reachable
+// from a purge/restore root. cloneReceived accrues and never reverses;
+// heavyCopies reverses on the purge path (clean); heavyCopyCount reverses
+// only in a helper nothing on a purge path calls.
+package core
+
+type joinActor struct {
+	cloneReceived  int64 // want `accrued but never reversed`
+	heavyCopies    int64
+	heavyCopyCount map[uint64]int64 // want `none reachable from a purge/restore root`
+}
+
+func (j *joinActor) onClone(n int64) {
+	j.cloneReceived += n
+	j.heavyCopies += n
+	j.heavyCopyCount[uint64(n)]++
+}
+
+func (j *joinActor) onPurgeRange(n int64) {
+	j.heavyCopies -= n
+}
+
+// orphanDrop reverses heavyCopyCount, but no purge/restore root reaches it.
+func (j *joinActor) orphanDrop(k uint64) {
+	delete(j.heavyCopyCount, k)
+}

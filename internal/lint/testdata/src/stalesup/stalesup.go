@@ -1,0 +1,22 @@
+// Package sim is the stale-suppression fixture: an allow that suppresses a
+// real finding is fine, an allow whose check ran but suppressed nothing is
+// itself a finding, and an allow for a check that did not run stays silent
+// (a -checks subset must not flag the other analyzers' exceptions).
+package sim
+
+import "time"
+
+func clock() time.Time {
+	//lint:allow determinism fixture: this allow is real and suppresses the finding below
+	return time.Now()
+}
+
+func pure() int {
+	//lint:allow determinism fixture: nothing here to suppress, so this allow is stale
+	return 4
+}
+
+func other() int {
+	//lint:allow chansend fixture: chansend does not run in this test, so this is not stale
+	return 5
+}

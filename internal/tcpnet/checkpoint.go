@@ -134,6 +134,7 @@ func (c *Coordinator) kill() {
 		st := w.state
 		// Dead first: send and sendCtl check state, so no caller up the
 		// stack can touch the closed outbox after we unwind.
+		//lint:allow walorder crash simulation tears the control plane down without logging; recovery replays the snapshot+log, never this in-memory state
 		w.state = stateDead
 		if st != stateLive || w.out == nil {
 			continue

@@ -879,6 +879,7 @@ func (c *Coordinator) failWorker(i int, cause error) {
 	if c.reconnect != nil {
 		w.state = stateReconnecting
 		epoch := w.sess.bumpEpoch()
+		//lint:allow walorder reconnect-only rung: WithReconnect and WithCheckpoint are mutually exclusive (NewCoordinator rejects the pair), so there is no log to order against
 		c.bumpPeerEpoch(i)
 		go c.redial(i, cause, c.assignFrame(i, epoch))
 		return
@@ -906,16 +907,19 @@ func (c *Coordinator) scrubQueuedSeqs(i int) {
 // markDead tombstones worker i: peers are told to drop their direct links
 // to it (p2p), and the failure handler (or Drain's fatal error) takes over.
 func (c *Coordinator) markDead(i int, cause error) {
-	c.workers[i].state = stateDead
-	c.scrubQueuedSeqs(i)
 	if c.ckpt != nil {
-		// Ahead of the peer-down broadcasts it implies and of the death
-		// notification, whose injected messages get their own records.
+		// Log-before-act: the tombstone, the scrub, the peer-down
+		// broadcasts, and the death notification are all observable
+		// effects of this record — a crash after any of them but before
+		// the record would replay the worker as live with a queue already
+		// scrubbed against its death.
 		c.logRecord(&wire.CkptRecord{Kind: wire.CkptDeath, Worker: int32(i)})
 		if c.killed {
 			return
 		}
 	}
+	c.workers[i].state = stateDead
+	c.scrubQueuedSeqs(i)
 	if c.p2p {
 		for j, w := range c.workers {
 			if j == i || w.state == stateDead {
@@ -1041,6 +1045,7 @@ func (c *Coordinator) applyRedial(i int, r *redialResult) {
 	}
 	// Transport restored, but the replacement process rebuilt its actors
 	// from scratch: the old state must still be recovered.
+	//lint:allow walorder reconnect-only rung: WithReconnect and WithCheckpoint are mutually exclusive (NewCoordinator rejects the pair), so there is no log to order against
 	w.sess.reset()
 	w.conn = r.conn
 	w.gen++
@@ -1183,15 +1188,16 @@ func (c *Coordinator) applyResume(req *resumeRequest) {
 		req.lastSeq, sess.ackedNow(), sess.framesSent(), w.restored, cause)
 	w.restored = false
 	epoch := sess.bumpEpoch()
-	sess.reset()
-	c.scrubQueuedSeqs(i)
 	peerEpoch := uint32(0)
 	if c.p2p {
 		peerEpoch = c.peerEpochs[i] + 1
 	}
 	if c.ckpt != nil {
-		// Ahead of the broadcasts bumpPeerEpoch is about to sequence —
-		// replay derives those sends from this record.
+		// Log-before-act: the session reset, the queue scrub, and the
+		// broadcasts bumpPeerEpoch is about to sequence are all effects
+		// of this record — a crash after the reset but before the record
+		// would replay the old epoch's ack state against a session that
+		// already dropped it.
 		c.logRecord(&wire.CkptRecord{Kind: wire.CkptEpoch, Worker: int32(i),
 			SessEpoch: epoch, PeerEpoch: peerEpoch})
 		if c.killed {
@@ -1199,6 +1205,8 @@ func (c *Coordinator) applyResume(req *resumeRequest) {
 			return
 		}
 	}
+	sess.reset()
+	c.scrubQueuedSeqs(i)
 	c.bumpPeerEpoch(i)
 	af := c.assignFrame(i, epoch)
 	w.conn = req.conn
@@ -1484,6 +1492,7 @@ func (c *Coordinator) sessionTick() {
 				cause = fmt.Errorf("no resume within %v: %w", c.resumeWindow, cause)
 				if c.reconnect != nil {
 					epoch := w.sess.bumpEpoch()
+					//lint:allow walorder reconnect-only rung: WithReconnect and WithCheckpoint are mutually exclusive (NewCoordinator rejects the pair), so there is no log to order against
 					c.bumpPeerEpoch(i)
 					go c.redial(i, cause, c.assignFrame(i, epoch))
 					continue
